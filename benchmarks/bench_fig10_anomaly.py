@@ -1,0 +1,37 @@
+"""Fig. 10 benchmark — range-based anomaly detection at inference."""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.experiments import fig10_anomaly
+from repro.experiments.common import build_drone_bundle
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10a_gridworld_mitigation(benchmark, nn_config):
+    table = benchmark.pedantic(
+        fig10_anomaly.run_gridworld_anomaly_mitigation,
+        args=(nn_config, [0.0, 0.005, 0.01]),
+        kwargs={"repetitions": 3, "episodes_per_trial": 4},
+        rounds=1,
+        iterations=1,
+    )
+    report(table)
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10b_drone_mitigation(benchmark, drone_config):
+    build_drone_bundle(drone_config, seed=0)
+    table = benchmark.pedantic(
+        fig10_anomaly.run_drone_anomaly_mitigation,
+        args=(drone_config, [0.0, 1e-5, 1e-4, 1e-3]),
+        kwargs={"repetitions": 2},
+        rounds=1,
+        iterations=1,
+    )
+    report(table)
+    # Mitigation should not hurt the fault-free flight and should help under faults.
+    mitigated = {r["bit_error_rate"]: r["mean_safe_flight"] for r in table.filter(mitigation=True).rows}
+    unmitigated = {r["bit_error_rate"]: r["mean_safe_flight"] for r in table.filter(mitigation=False).rows}
+    faulty_bers = [b for b in mitigated if b > 0]
+    assert any(mitigated[b] >= unmitigated[b] for b in faulty_bers)

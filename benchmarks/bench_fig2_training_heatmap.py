@@ -1,0 +1,56 @@
+"""Fig. 2 benchmark — training-time fault heatmaps and value histograms."""
+
+import pytest
+
+from benchmarks.conftest import GRID_BERS, GRID_EPISODES, report
+from repro.experiments import fig2_training
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_fig2a_tabular_transient_heatmap(benchmark, tabular_config):
+    table = benchmark.pedantic(
+        fig2_training.run_transient_training_heatmap,
+        args=(tabular_config, GRID_BERS, GRID_EPISODES),
+        kwargs={"repetitions": 2},
+        rounds=1,
+        iterations=1,
+    )
+    report(table)
+    clean = [r["success_rate"] for r in table.rows if r["bit_error_rate"] == 0.0]
+    assert min(clean) >= 0.8
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_fig2a_tabular_permanent_sweep(benchmark, tabular_config):
+    table = benchmark.pedantic(
+        fig2_training.run_permanent_training_sweep,
+        args=(tabular_config, [0.005, 0.01]),
+        kwargs={"repetitions": 2},
+        rounds=1,
+        iterations=1,
+    )
+    report(table)
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_fig2c_nn_transient_heatmap(benchmark, nn_config):
+    table = benchmark.pedantic(
+        fig2_training.run_transient_training_heatmap,
+        args=(nn_config, [0.0, 0.01], [50, nn_config.episodes - 1]),
+        kwargs={"repetitions": 1},
+        rounds=1,
+        iterations=1,
+    )
+    report(table)
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_fig2bd_value_histograms(benchmark, tabular_config, nn_config):
+    table = benchmark.pedantic(
+        fig2_training.run_value_histograms,
+        args=(tabular_config, nn_config),
+        rounds=1,
+        iterations=1,
+    )
+    report(table)
+    assert len(table) == 2

@@ -1,0 +1,37 @@
+"""Fig. 3 benchmark — cumulative-return curves under example faults."""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.experiments import fig3_return_curves
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_fig3a_tabular_return_curves(benchmark, tabular_config):
+    scenarios = fig3_return_curves.default_scenarios(tabular_config.episodes, "tabular")[:4]
+    series = benchmark.pedantic(
+        fig3_return_curves.run_return_curves,
+        args=(tabular_config, scenarios),
+        rounds=1,
+        iterations=1,
+    )
+    # Print only the tail of each curve to keep the report compact.
+    print()
+    for name, values in series.series.items():
+        print(f"{name:<32} final smoothed return = {values[-1]:.3f}")
+    assert len(series.series) == len(scenarios)
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_fig3b_nn_return_curves(benchmark, nn_config):
+    scenarios = fig3_return_curves.default_scenarios(nn_config.episodes, "nn")[:3]
+    series = benchmark.pedantic(
+        fig3_return_curves.run_return_curves,
+        args=(nn_config, scenarios),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    for name, values in series.series.items():
+        print(f"{name:<32} final smoothed return = {values[-1]:.3f}")
+    assert len(series.series) == len(scenarios)

@@ -1,0 +1,35 @@
+"""Fig. 5 benchmark — inference-time fault modes on Grid World."""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.experiments import fig5_inference
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5a_tabular_inference_faults(benchmark, tabular_config):
+    table = benchmark.pedantic(
+        fig5_inference.run_inference_fault_sweep,
+        args=(tabular_config, [0.002, 0.01]),
+        kwargs={"repetitions": 4, "episodes_per_trial": 4},
+        rounds=1,
+        iterations=1,
+    )
+    report(table)
+    # Transient-1 (single-step) faults should be far more benign than
+    # Transient-M (whole-episode) faults — the paper's key Fig. 5 takeaway.
+    t1 = min(r["success_rate"] for r in table.filter(fault_mode="transient-1").rows)
+    tm = min(r["success_rate"] for r in table.filter(fault_mode="transient-m").rows)
+    assert t1 >= tm
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5b_nn_inference_faults(benchmark, nn_config):
+    table = benchmark.pedantic(
+        fig5_inference.run_inference_fault_sweep,
+        args=(nn_config, [0.002, 0.01]),
+        kwargs={"repetitions": 2, "episodes_per_trial": 3},
+        rounds=1,
+        iterations=1,
+    )
+    report(table)

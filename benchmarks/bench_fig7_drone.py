@@ -1,0 +1,83 @@
+"""Fig. 7 benchmark — drone navigation fault characterization (all five panels)."""
+
+import pytest
+
+from benchmarks.conftest import DRONE_BERS, report
+from repro.experiments import fig7_drone
+from repro.experiments.common import build_drone_bundle
+
+
+@pytest.fixture(scope="module", autouse=True)
+def warm_bundle(drone_config):
+    """Pre-train the drone policy once so individual benches time only the sweeps."""
+    return build_drone_bundle(drone_config, seed=0)
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7a_online_training_faults(benchmark, drone_config):
+    table = benchmark.pedantic(
+        fig7_drone.run_drone_training_faults,
+        args=(drone_config, [0.0, 1e-3, 1e-2]),
+        kwargs={"repetitions": 1},
+        rounds=1,
+        iterations=1,
+    )
+    report(table)
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7b_environment_comparison(benchmark, drone_config):
+    table = benchmark.pedantic(
+        fig7_drone.run_environment_comparison,
+        args=(drone_config, DRONE_BERS),
+        kwargs={"repetitions": 2},
+        rounds=1,
+        iterations=1,
+    )
+    report(table)
+    # Both environments should degrade as the BER grows.
+    for env_name in ("indoor-long", "indoor-vanleer"):
+        rows = table.filter(environment=env_name).rows
+        clean = rows[0]["mean_safe_flight"]
+        worst = rows[-1]["mean_safe_flight"]
+        assert worst <= clean
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7c_fault_locations(benchmark, drone_config):
+    table = benchmark.pedantic(
+        fig7_drone.run_fault_location_sweep,
+        args=(drone_config, [1e-4, 1e-3]),
+        kwargs={"repetitions": 2},
+        rounds=1,
+        iterations=1,
+    )
+    report(table)
+    # The input buffer is the most fault-tolerant location (Fig. 7c).
+    input_msf = min(r["mean_safe_flight"] for r in table.filter(location="input").rows)
+    weight_msf = min(r["mean_safe_flight"] for r in table.filter(location="weight").rows)
+    assert input_msf >= weight_msf
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7d_layer_sensitivity(benchmark, drone_config):
+    table = benchmark.pedantic(
+        fig7_drone.run_layer_sweep,
+        args=(drone_config, [1e-3, 1e-2]),
+        kwargs={"repetitions": 2},
+        rounds=1,
+        iterations=1,
+    )
+    report(table)
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7e_data_types(benchmark, drone_config):
+    table = benchmark.pedantic(
+        fig7_drone.run_datatype_sweep,
+        args=(drone_config, [1e-4, 1e-3]),
+        kwargs={"repetitions": 2},
+        rounds=1,
+        iterations=1,
+    )
+    report(table)

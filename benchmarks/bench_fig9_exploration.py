@@ -1,0 +1,30 @@
+"""Fig. 9 benchmark — exploration-rate adjustment vs BER, recovery-speed trade-off."""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.experiments import fig9_exploration
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_fig9ab_exploration_adjustment(benchmark, tabular_config):
+    table = benchmark.pedantic(
+        fig9_exploration.run_exploration_adjustment_sweep,
+        args=(tabular_config, [0.005, 0.01]),
+        kwargs={"fault_types": ("transient", "stuck-at-1"), "repetitions": 2},
+        rounds=1,
+        iterations=1,
+    )
+    report(table)
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_fig9c_recovery_speed(benchmark, tabular_config):
+    table = benchmark.pedantic(
+        fig9_exploration.run_recovery_speed_correlation,
+        args=(tabular_config,),
+        kwargs={"exploration_boosts": (0.25, 0.75), "repetitions": 2},
+        rounds=1,
+        iterations=1,
+    )
+    report(table)

@@ -1,0 +1,56 @@
+"""Shared configuration for the benchmark harness.
+
+Each benchmark regenerates the rows/series of one paper figure and prints the
+resulting table, so a ``pytest benchmarks/ --benchmark-only`` run leaves a
+textual record of the reproduced trends.  Sweep densities and repetition
+counts are kept small so the whole harness runs in minutes on a laptop; set
+``REPRO_SCALE=paper`` and ``REPRO_CAMPAIGN_REPS=1000`` to rerun at the
+paper's scale.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import DroneConfig, GridNNConfig, GridTabularConfig
+from repro.io.results import ResultTable, SeriesResult
+from repro.io.tables import render_table
+
+#: Grid World sweeps used across the benchmarks (kept deliberately small).
+GRID_BERS = [0.0, 0.005, 0.01]
+GRID_EPISODES = [100, 999]
+DRONE_BERS = [0.0, 1e-5, 1e-4, 1e-3]
+
+
+@pytest.fixture(scope="session")
+def tabular_config() -> GridTabularConfig:
+    return GridTabularConfig(eval_trials=20, repetitions=2)
+
+
+@pytest.fixture(scope="session")
+def nn_config() -> GridNNConfig:
+    return GridNNConfig(eval_trials=20, repetitions=1)
+
+
+@pytest.fixture(scope="session")
+def drone_config() -> DroneConfig:
+    """Drone setup with a lighter pre-training pass for benchmark runtime."""
+    return DroneConfig(
+        pretrain_samples=300,
+        pretrain_extra_env_samples=400,
+        pretrain_epochs=25,
+        eval_trials=2,
+        max_eval_steps=250,
+        finetune_episodes=4,
+        finetune_max_steps=40,
+        repetitions=1,
+    )
+
+
+def report(result) -> None:
+    """Print a result table / series under the benchmark output."""
+    if isinstance(result, SeriesResult):
+        result = result.as_table()
+    assert isinstance(result, ResultTable)
+    print()
+    print(render_table(result))

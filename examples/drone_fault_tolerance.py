@@ -1,0 +1,42 @@
+"""Drone navigation fault-tolerance study (a miniature of Fig. 7 and Fig. 10b).
+
+Pre-trains the C3F2 policy on the corridor simulator, then measures Mean Safe
+Flight under weight faults for different fixed-point formats and with/without
+the range-based anomaly detector.
+
+Run with:  python examples/drone_fault_tolerance.py
+"""
+
+from repro.experiments.config import DroneConfig
+from repro.experiments.fig7_drone import run_datatype_sweep, run_environment_comparison
+from repro.experiments.fig10_anomaly import run_drone_anomaly_mitigation
+from repro.experiments.summary import summarize_mitigation_gains
+from repro.io.tables import render_table
+
+
+def main() -> None:
+    config = DroneConfig(
+        pretrain_samples=300,
+        pretrain_extra_env_samples=400,
+        pretrain_epochs=25,
+        eval_trials=2,
+        max_eval_steps=250,
+        repetitions=1,
+    )
+    bers = [0.0, 1e-5, 1e-4, 1e-3]
+
+    print("== Environment comparison under transient weight faults (Fig. 7b) ==")
+    print(render_table(run_environment_comparison(config, bers, repetitions=1)))
+
+    print("\n== Fixed-point data-type resilience (Fig. 7e) ==")
+    print(render_table(run_datatype_sweep(config, [1e-5, 1e-4], repetitions=1)))
+
+    print("\n== Range-based anomaly detection (Fig. 10b) ==")
+    table = run_drone_anomaly_mitigation(config, bers, repetitions=2)
+    print(render_table(table))
+    print()
+    print(render_table(summarize_mitigation_gains(table, "mean_safe_flight")))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""Grid World fault-characterization study (a miniature of Fig. 2 and Fig. 5).
+
+Trains tabular policies under transient faults injected at different points
+of training, then studies inference-time fault modes on a clean policy.
+
+Run with:  python examples/gridworld_fault_study.py
+"""
+
+from repro.experiments.config import GridTabularConfig
+from repro.experiments.fig2_training import (
+    heatmap_matrix,
+    run_transient_training_heatmap,
+    run_value_histograms,
+)
+from repro.experiments.fig5_inference import run_inference_fault_sweep
+from repro.io.tables import render_heatmap, render_table
+
+
+def main() -> None:
+    config = GridTabularConfig(eval_trials=20, repetitions=2)
+    bers = [0.0, 0.005, 0.01]
+    episodes = [100, 500, 999]
+
+    print("== Training-time transient faults (Fig. 2a, reduced sweep) ==")
+    table = run_transient_training_heatmap(config, bers, episodes, repetitions=2)
+    matrix = heatmap_matrix(table, bers, episodes) * 100.0
+    print(
+        render_heatmap(
+            matrix,
+            row_labels=[f"BER {b:.1%}" for b in bers],
+            col_labels=[f"ep {e}" for e in episodes],
+            title="success rate (%) after training with a fault at (BER, episode)",
+        )
+    )
+
+    print("\n== Inference-time fault modes (Fig. 5a, reduced sweep) ==")
+    table = run_inference_fault_sweep(config, [0.002, 0.01], repetitions=3, episodes_per_trial=4)
+    print(render_table(table))
+
+    print("\n== Value / bit histograms (Fig. 2b & 2d) ==")
+    print(render_table(run_value_histograms(config)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""Quickstart: train a Grid World policy, inject a fault, measure the damage.
+
+Run with:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.core import FaultInjector, StuckAtFault, TransientBitFlip
+from repro.envs import make_gridworld
+from repro.rl import DecayingEpsilonGreedy, TabularQAgent, evaluate_success_rate, train_agent
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+
+    # 1. Train a tabular Q-learning policy on the middle-density Grid World.
+    env = make_gridworld("middle", rng=rng)
+    agent = TabularQAgent(
+        env.n_states,
+        env.n_actions,
+        schedule=DecayingEpsilonGreedy(1.0, 0.05, 0.99),
+        initial_q=0.5,
+        rng=rng,
+    )
+    train_agent(agent, env, episodes=600, max_steps_per_episode=100)
+
+    eval_env = make_gridworld("middle")
+    policy = lambda state: agent.select_action(state, explore=False)
+    clean = evaluate_success_rate(policy, eval_env, trials=100)
+    print(f"clean policy success rate:              {clean:.2f}")
+
+    # 2. Inject transient bit-flips into the quantized Q-table buffer.
+    injector = FaultInjector(rng)
+    faulted = agent.clone()
+    patterns = injector.inject(faulted, TransientBitFlip(bit_error_rate=0.01))
+    faulted_policy = lambda state: faulted.select_action(state, explore=False)
+    corrupted = evaluate_success_rate(faulted_policy, eval_env, trials=100)
+    flips = sum(p.num_faults for p in patterns)
+    print(f"after {flips} transient bit-flips (BER=1%): {corrupted:.2f}")
+
+    # 3. Permanent stuck-at-1 faults are usually worse than stuck-at-0.
+    for stuck_value in (0, 1):
+        damaged = agent.clone()
+        injector.inject(damaged, StuckAtFault(0.01, stuck_value=stuck_value))
+        rate = evaluate_success_rate(
+            lambda s: damaged.select_action(s, explore=False), eval_env, trials=100
+        )
+        print(f"stuck-at-{stuck_value} faults (BER=1%):              {rate:.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,28 @@
+"""repro — reproduction of "Analyzing and Improving Fault Tolerance of
+Learning-Based Navigation Systems" (Wan et al., DAC 2021).
+
+The package is organised bottom-up:
+
+* :mod:`repro.quant` — fixed-point formats and bit-addressable tensors.
+* :mod:`repro.nn` — numpy neural-network substrate and accelerator buffers.
+* :mod:`repro.rl` — tabular Q-learning, DQN / Double DQN, training loop.
+* :mod:`repro.envs` — Grid World and the drone corridor simulator.
+* :mod:`repro.policies` — the Grid World MLP and the C3F2 drone network.
+* :mod:`repro.core` — the fault-injection tool-chain and mitigation schemes.
+* :mod:`repro.metrics`, :mod:`repro.io` — metrics, statistics and result I/O.
+* :mod:`repro.experiments` — one driver per paper figure.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "quant",
+    "nn",
+    "rl",
+    "envs",
+    "policies",
+    "core",
+    "metrics",
+    "io",
+    "experiments",
+]

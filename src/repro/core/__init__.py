@@ -1,0 +1,51 @@
+"""Fault-injection tool-chain (the paper's primary contribution).
+
+The tool-chain emulates hardware faults in the memories of a learning-based
+navigation system and enables rapid fault analysis in both training and
+inference:
+
+* :mod:`repro.core.fault_models` — transient bit-flip and permanent
+  stuck-at-0 / stuck-at-1 fault models parameterized by bit error rate.
+* :mod:`repro.core.sites` — addressing of fault locations (which buffer,
+  which element, which bit) and reusable fault patterns.
+* :mod:`repro.core.injector` — static and dynamic injection into agent
+  memory buffers and accelerator buffers, plus training-loop hooks.
+* :mod:`repro.core.campaign` — repetition / statistics machinery for
+  large-scale fault-injection campaigns.
+* :mod:`repro.core.mitigation` — the two mitigation techniques of Sec. 5.
+"""
+
+from repro.core.fault_models import (
+    FaultType,
+    FaultModel,
+    TransientBitFlip,
+    StuckAtFault,
+    make_fault_model,
+)
+from repro.core.sites import FaultPattern, BufferSelector
+from repro.core.injector import (
+    FaultInjector,
+    TransientTrainingFaultHook,
+    PermanentTrainingFaultHook,
+    ActivationFaultInjector,
+    InputFaultInjector,
+)
+from repro.core.campaign import Campaign, CampaignResult, TrialOutcome
+
+__all__ = [
+    "FaultType",
+    "FaultModel",
+    "TransientBitFlip",
+    "StuckAtFault",
+    "make_fault_model",
+    "FaultPattern",
+    "BufferSelector",
+    "FaultInjector",
+    "TransientTrainingFaultHook",
+    "PermanentTrainingFaultHook",
+    "ActivationFaultInjector",
+    "InputFaultInjector",
+    "Campaign",
+    "CampaignResult",
+    "TrialOutcome",
+]

@@ -1,0 +1,138 @@
+"""Fault-injection campaign machinery.
+
+A *campaign* repeats a fault-injection trial many times with independent
+random seeds and aggregates the task-level outcomes (success / failure and a
+scalar quality metric) with confidence intervals.  The paper repeats each
+Grid World campaign 1000 times for a 95% confidence level within a 1% error
+margin; the repetition count here is configurable (and can be overridden
+globally through the ``REPRO_CAMPAIGN_REPS`` environment variable so the
+benchmark harness can trade accuracy for runtime).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.metrics.statistics import mean_confidence_interval, wilson_confidence_interval
+
+__all__ = ["TrialOutcome", "CampaignResult", "Campaign", "default_repetitions"]
+
+#: Environment variable overriding campaign repetition counts everywhere.
+REPS_ENV_VAR = "REPRO_CAMPAIGN_REPS"
+
+
+def default_repetitions(fallback: int) -> int:
+    """Campaign repetitions: the ``REPRO_CAMPAIGN_REPS`` override or ``fallback``."""
+    value = os.environ.get(REPS_ENV_VAR)
+    if value is None:
+        return fallback
+    try:
+        parsed = int(value)
+    except ValueError as exc:
+        raise ValueError(f"{REPS_ENV_VAR} must be an integer, got {value!r}") from exc
+    if parsed <= 0:
+        raise ValueError(f"{REPS_ENV_VAR} must be positive, got {parsed}")
+    return parsed
+
+
+@dataclass(frozen=True)
+class TrialOutcome:
+    """Outcome of a single fault-injection trial."""
+
+    success: Optional[bool] = None
+    metric: Optional[float] = None
+    extras: Dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class CampaignResult:
+    """Aggregated campaign statistics."""
+
+    name: str
+    outcomes: List[TrialOutcome] = field(default_factory=list)
+
+    @property
+    def repetitions(self) -> int:
+        return len(self.outcomes)
+
+    # -- success-rate statistics ---------------------------------------- #
+    @property
+    def num_successes(self) -> int:
+        return sum(1 for o in self.outcomes if o.success)
+
+    @property
+    def success_rate(self) -> float:
+        graded = [o for o in self.outcomes if o.success is not None]
+        if not graded:
+            raise ValueError(f"campaign {self.name!r} recorded no success outcomes")
+        return sum(1 for o in graded if o.success) / len(graded)
+
+    def success_confidence(self) -> Tuple[float, float]:
+        graded = [o for o in self.outcomes if o.success is not None]
+        return wilson_confidence_interval(sum(1 for o in graded if o.success), len(graded))
+
+    # -- metric statistics ---------------------------------------------- #
+    @property
+    def metrics(self) -> np.ndarray:
+        values = [o.metric for o in self.outcomes if o.metric is not None]
+        return np.asarray(values, dtype=np.float64)
+
+    @property
+    def mean_metric(self) -> float:
+        metrics = self.metrics
+        if metrics.size == 0:
+            raise ValueError(f"campaign {self.name!r} recorded no metric values")
+        return float(metrics.mean())
+
+    def metric_confidence(self) -> Tuple[float, float]:
+        return mean_confidence_interval(self.metrics)
+
+    def extras_mean(self, key: str) -> float:
+        values = [o.extras[key] for o in self.outcomes if key in o.extras]
+        if not values:
+            raise KeyError(f"no trial recorded extra {key!r}")
+        return float(np.mean(values))
+
+    def summary(self) -> Dict[str, float]:
+        """Compact summary for result tables."""
+        out: Dict[str, float] = {"repetitions": self.repetitions}
+        if any(o.success is not None for o in self.outcomes):
+            out["success_rate"] = self.success_rate
+            lo, hi = self.success_confidence()
+            out["success_ci_low"], out["success_ci_high"] = lo, hi
+        if self.metrics.size:
+            out["mean_metric"] = self.mean_metric
+        return out
+
+
+#: A trial function receives an independent RNG and returns one outcome.
+TrialFn = Callable[[np.random.Generator], TrialOutcome]
+
+
+class Campaign:
+    """Runs repeated, independently seeded fault-injection trials."""
+
+    def __init__(self, name: str, repetitions: int, seed: int = 0) -> None:
+        if repetitions <= 0:
+            raise ValueError(f"repetitions must be positive, got {repetitions}")
+        self.name = name
+        self.repetitions = repetitions
+        self.seed = seed
+
+    def run(self, trial_fn: TrialFn) -> CampaignResult:
+        """Execute the campaign and return the aggregated result."""
+        result = CampaignResult(name=self.name)
+        seeds = np.random.SeedSequence(self.seed).spawn(self.repetitions)
+        for child in seeds:
+            rng = np.random.default_rng(child)
+            outcome = trial_fn(rng)
+            if not isinstance(outcome, TrialOutcome):
+                raise TypeError(
+                    f"trial function must return TrialOutcome, got {type(outcome).__name__}"
+                )
+            result.outcomes.append(outcome)
+        return result

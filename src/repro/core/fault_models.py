@@ -1,0 +1,123 @@
+"""Hardware fault models (Sec. 3.2).
+
+Two abstractions of physical defect mechanisms are implemented, following the
+widely adopted models the paper builds on:
+
+* **Transient bit-flips** — soft errors from particle strikes or voltage
+  droops; each selected memory bit has its logical value inverted once.
+* **Permanent stuck-at faults** — manufacturing defects that hold a bit at
+  logic 0 (stuck-at-0) or logic 1 (stuck-at-1) for the lifetime of the run.
+  A stuck-at fault only manifests as an error when the stored value differs
+  from the stuck level, which is why the paper's bit-level sparsity analysis
+  (Fig. 2b/2d) predicts stuck-at-1 to be far more damaging for NN weights.
+
+Both models are parameterized by a *bit error rate* (BER): the fraction of
+all bits in the targeted buffer that are faulty.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.sites import FaultPattern
+from repro.quant.qtensor import QTensor
+
+__all__ = ["FaultType", "FaultModel", "TransientBitFlip", "StuckAtFault", "make_fault_model"]
+
+
+class FaultType(str, enum.Enum):
+    """Enumeration of the fault types studied in the paper."""
+
+    TRANSIENT = "transient"
+    STUCK_AT_0 = "stuck-at-0"
+    STUCK_AT_1 = "stuck-at-1"
+
+    @property
+    def is_permanent(self) -> bool:
+        return self is not FaultType.TRANSIENT
+
+
+@dataclass(frozen=True)
+class FaultModel:
+    """Base fault model: a fault type at a given bit error rate."""
+
+    bit_error_rate: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.bit_error_rate <= 1.0:
+            raise ValueError(
+                f"bit_error_rate must be in [0, 1], got {self.bit_error_rate}"
+            )
+
+    @property
+    def fault_type(self) -> FaultType:
+        raise NotImplementedError
+
+    def sample_pattern(self, tensor: QTensor, rng: np.random.Generator) -> FaultPattern:
+        """Sample the concrete fault sites for one injection into ``tensor``."""
+        raise NotImplementedError
+
+    def inject(self, tensor: QTensor, rng: np.random.Generator) -> FaultPattern:
+        """Sample sites and apply them to ``tensor`` in place."""
+        pattern = self.sample_pattern(tensor, rng)
+        pattern.apply(tensor)
+        return pattern
+
+
+@dataclass(frozen=True)
+class TransientBitFlip(FaultModel):
+    """Transient fault: each selected bit is flipped once."""
+
+    @property
+    def fault_type(self) -> FaultType:
+        return FaultType.TRANSIENT
+
+    def sample_pattern(self, tensor: QTensor, rng: np.random.Generator) -> FaultPattern:
+        elements, bits = tensor.sample_fault_sites(self.bit_error_rate, rng)
+        return FaultPattern(
+            buffer_name=tensor.name,
+            element_indices=elements,
+            bit_positions=bits,
+            stuck_value=None,
+        )
+
+
+@dataclass(frozen=True)
+class StuckAtFault(FaultModel):
+    """Permanent fault: selected bits are held at a fixed logic level."""
+
+    stuck_value: int = 0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.stuck_value not in (0, 1):
+            raise ValueError(f"stuck_value must be 0 or 1, got {self.stuck_value}")
+
+    @property
+    def fault_type(self) -> FaultType:
+        return FaultType.STUCK_AT_1 if self.stuck_value else FaultType.STUCK_AT_0
+
+    def sample_pattern(self, tensor: QTensor, rng: np.random.Generator) -> FaultPattern:
+        elements, bits = tensor.sample_fault_sites(self.bit_error_rate, rng)
+        return FaultPattern(
+            buffer_name=tensor.name,
+            element_indices=elements,
+            bit_positions=bits,
+            stuck_value=self.stuck_value,
+        )
+
+
+def make_fault_model(
+    fault_type: FaultType | str, bit_error_rate: float
+) -> FaultModel:
+    """Factory: build a fault model from a :class:`FaultType` (or its value string)."""
+    fault_type = FaultType(fault_type)
+    if fault_type is FaultType.TRANSIENT:
+        return TransientBitFlip(bit_error_rate)
+    if fault_type is FaultType.STUCK_AT_0:
+        return StuckAtFault(bit_error_rate, stuck_value=0)
+    return StuckAtFault(bit_error_rate, stuck_value=1)

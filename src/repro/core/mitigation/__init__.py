@@ -1,0 +1,33 @@
+"""Fault-mitigation techniques (Sec. 5).
+
+Two low-overhead, application-aware techniques:
+
+* :mod:`repro.core.mitigation.exploration` — training-time mitigation:
+  detect faults from the cumulative-reward stream and adaptively adjust the
+  exploration rate (Eq. 6).
+* :mod:`repro.core.mitigation.anomaly` — inference-time mitigation:
+  range-based anomaly detection over sign+integer bits with a configurable
+  margin; anomalous values are skipped (zeroed) before they can steer the
+  policy.
+
+Neither technique requires redundant storage bits, matching the paper's
+"<3% runtime overhead, no ECC" claim; :func:`~repro.core.mitigation.anomaly.estimate_runtime_overhead`
+provides the corresponding analytical overhead accounting.
+"""
+
+from repro.core.mitigation.detectors import (
+    RewardDropDetector,
+    PermanentFaultDetector,
+    DetectionEvent,
+)
+from repro.core.mitigation.exploration import AdaptiveExplorationController
+from repro.core.mitigation.anomaly import RangeAnomalyDetector, estimate_runtime_overhead
+
+__all__ = [
+    "RewardDropDetector",
+    "PermanentFaultDetector",
+    "DetectionEvent",
+    "AdaptiveExplorationController",
+    "RangeAnomalyDetector",
+    "estimate_runtime_overhead",
+]

@@ -1,0 +1,121 @@
+"""Training-time fault detectors (Sec. 5.1, "Detection").
+
+Transient faults produce a *sudden drop* in cumulative reward; permanent
+faults produce a *continuously low* reward after the agent has settled into
+its steady exploitation phase.  Both detectors watch the per-episode
+cumulative-reward stream only — no redundant computation or storage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+__all__ = ["DetectionEvent", "RewardDropDetector", "PermanentFaultDetector"]
+
+
+@dataclass(frozen=True)
+class DetectionEvent:
+    """A detector firing at a given episode."""
+
+    episode: int
+    kind: str  # "transient" or "permanent"
+    reward_drop: float  # normalized drop f(r) = delta_r / r_max
+
+
+class RewardDropDetector:
+    """Detects transient faults from sudden cumulative-reward drops.
+
+    A fault is flagged when the cumulative reward drops by more than
+    ``drop_threshold`` (fraction of the maximum observed reward) within
+    ``window`` consecutive episodes.  The paper uses x=25% and y=50.
+    """
+
+    def __init__(self, drop_threshold: float = 0.25, window: int = 50) -> None:
+        if not 0.0 < drop_threshold <= 1.0:
+            raise ValueError(f"drop_threshold must be in (0, 1], got {drop_threshold}")
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        self.drop_threshold = drop_threshold
+        self.window = window
+        self._history: List[float] = []
+        self._max_reward: Optional[float] = None
+        self.events: List[DetectionEvent] = []
+
+    @property
+    def max_reward(self) -> Optional[float]:
+        """Highest episode reward observed so far."""
+        return self._max_reward
+
+    def observe(self, episode: int, reward: float) -> Optional[DetectionEvent]:
+        """Feed one episode reward; returns an event if a drop is detected."""
+        self._history.append(reward)
+        if self._max_reward is None or reward > self._max_reward:
+            self._max_reward = reward
+        if self._max_reward is None or self._max_reward <= 0:
+            return None
+        recent = self._history[-self.window :]
+        recent_peak = max(recent)
+        drop = (recent_peak - reward) / abs(self._max_reward)
+        if drop >= self.drop_threshold:
+            event = DetectionEvent(episode=episode, kind="transient", reward_drop=drop)
+            self.events.append(event)
+            return event
+        return None
+
+    def normalized_drop(self, reward: float) -> float:
+        """f(r) = delta_r / r_max for the most recent reward (Eq. 6)."""
+        if self._max_reward is None or self._max_reward <= 0:
+            return 0.0
+        return max(0.0, (self._max_reward - reward) / abs(self._max_reward))
+
+    def reset(self) -> None:
+        self._history.clear()
+        self._max_reward = None
+        self.events.clear()
+
+
+class PermanentFaultDetector:
+    """Detects permanent faults from persistently low reward at steady exploitation.
+
+    Once the exploration schedule has reached its steady exploitation floor,
+    if the (windowed) reward is still below ``low_fraction`` of the maximum
+    observed reward, a permanent fault is assumed (Sec. 5.1).
+    """
+
+    def __init__(self, low_fraction: float = 0.5, window: int = 20) -> None:
+        if not 0.0 < low_fraction < 1.0:
+            raise ValueError(f"low_fraction must be in (0, 1), got {low_fraction}")
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        self.low_fraction = low_fraction
+        self.window = window
+        self._history: List[float] = []
+        self._max_reward: Optional[float] = None
+        self.events: List[DetectionEvent] = []
+
+    def observe(
+        self, episode: int, reward: float, exploration_steady: bool
+    ) -> Optional[DetectionEvent]:
+        """Feed one episode reward plus whether the schedule is at its floor."""
+        self._history.append(reward)
+        if self._max_reward is None or reward > self._max_reward:
+            self._max_reward = reward
+        if not exploration_steady:
+            return None
+        if self._max_reward is None or self._max_reward <= 0:
+            return None
+        if len(self._history) < self.window:
+            return None
+        recent_mean = sum(self._history[-self.window :]) / self.window
+        if recent_mean < self.low_fraction * self._max_reward:
+            drop = (self._max_reward - recent_mean) / abs(self._max_reward)
+            event = DetectionEvent(episode=episode, kind="permanent", reward_drop=drop)
+            self.events.append(event)
+            return event
+        return None
+
+    def reset(self) -> None:
+        self._history.clear()
+        self._max_reward = None
+        self.events.clear()

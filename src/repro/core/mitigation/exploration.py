@@ -1,0 +1,183 @@
+"""Adaptive exploration-rate adjustment (Sec. 5.1, "Recovery").
+
+Once a fault is detected from the reward stream, the agent adjusts its
+exploration/exploitation trade-off:
+
+* **Transient fault** — the exploration rate is bumped up by
+
+  .. math::
+
+     ER_{new} = ER_{old} + \\alpha \\cdot \\min(f(r),\\ f(r) f(t))
+
+  where :math:`f(r) = \\Delta r / r_{max}` is the normalized reward drop and
+  :math:`f(t) = t / T` characterizes how late in training the fault occurred
+  (T = episodes to reach steady exploitation in normal training).  Faults
+  early in training (small ``f(t)``) thus trigger a smaller bump — the agent
+  would have kept exploring anyway.
+
+* **Permanent fault** — the exploration rate reverts to its initial value and
+  the decay speed is slowed ``2**n``-fold, where ``n`` counts how many times
+  the permanent detector has fired; the agent needs more episodes to learn
+  the fault pattern and route around it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.mitigation.detectors import (
+    DetectionEvent,
+    PermanentFaultDetector,
+    RewardDropDetector,
+)
+from repro.rl.base import Agent
+from repro.rl.schedules import DecayingEpsilonGreedy
+from repro.rl.trainer import EpisodeRecord, TrainingHooks
+
+__all__ = ["ExplorationAdjustment", "AdaptiveExplorationController"]
+
+
+@dataclass(frozen=True)
+class ExplorationAdjustment:
+    """Record of one exploration-rate adjustment."""
+
+    episode: int
+    kind: str  # "transient" or "permanent"
+    old_rate: float
+    new_rate: float
+    decay_slowdown: float = 1.0
+
+
+@dataclass
+class _ControllerState:
+    transient_detections: int = 0
+    permanent_detections: int = 0
+    adjustments: List[ExplorationAdjustment] = field(default_factory=list)
+
+
+class AdaptiveExplorationController(TrainingHooks):
+    """Training hook implementing the adaptive exploration-rate scheme.
+
+    Parameters
+    ----------
+    alpha:
+        Adjustment coefficient of Eq. 6.  The paper uses 0.8 for the tabular
+        agent and 0.4 for the NN agent (which self-heals faster).
+    drop_threshold, drop_window:
+        Transient-detection parameters (x=25%, y=50 in the paper).
+    steady_episodes:
+        ``T`` of Eq. 6 — episodes a normal run takes to reach steady
+        exploitation (paper: 100).
+    cooldown:
+        Minimum number of episodes between two transient adjustments, so a
+        single fault does not trigger a boost every episode while the agent
+        recovers.
+    """
+
+    def __init__(
+        self,
+        alpha: float = 0.8,
+        drop_threshold: float = 0.25,
+        drop_window: int = 50,
+        steady_episodes: int = 100,
+        low_reward_fraction: float = 0.5,
+        permanent_window: int = 20,
+        cooldown: int = 25,
+    ) -> None:
+        if alpha <= 0:
+            raise ValueError(f"alpha must be positive, got {alpha}")
+        if steady_episodes <= 0:
+            raise ValueError(f"steady_episodes must be positive, got {steady_episodes}")
+        self.alpha = alpha
+        self.steady_episodes = steady_episodes
+        self.cooldown = cooldown
+        self.transient_detector = RewardDropDetector(drop_threshold, drop_window)
+        self.permanent_detector = PermanentFaultDetector(low_reward_fraction, permanent_window)
+        self.state = _ControllerState()
+        self._last_adjustment_episode: Optional[int] = None
+
+    # ------------------------------------------------------------------ #
+    # Reporting
+    # ------------------------------------------------------------------ #
+    @property
+    def adjustments(self) -> List[ExplorationAdjustment]:
+        return self.state.adjustments
+
+    @property
+    def transient_detections(self) -> int:
+        return self.state.transient_detections
+
+    @property
+    def permanent_detections(self) -> int:
+        return self.state.permanent_detections
+
+    # ------------------------------------------------------------------ #
+    # Eq. 6
+    # ------------------------------------------------------------------ #
+    def exploration_delta(self, reward_drop: float, episode: int) -> float:
+        """delta(ER) = alpha * min(f(r), f(r) * f(t))."""
+        f_r = max(0.0, reward_drop)
+        f_t = min(1.0, episode / self.steady_episodes)
+        return self.alpha * min(f_r, f_r * f_t)
+
+    # ------------------------------------------------------------------ #
+    # Training hook
+    # ------------------------------------------------------------------ #
+    def _schedule_of(self, agent: Agent) -> Optional[DecayingEpsilonGreedy]:
+        schedule = getattr(agent, "schedule", None)
+        if isinstance(schedule, DecayingEpsilonGreedy):
+            return schedule
+        return None
+
+    def _in_cooldown(self, episode: int) -> bool:
+        return (
+            self._last_adjustment_episode is not None
+            and episode - self._last_adjustment_episode < self.cooldown
+        )
+
+    def on_episode_end(self, episode: int, agent: Agent, env, record: EpisodeRecord) -> None:
+        schedule = self._schedule_of(agent)
+        if schedule is None:
+            return
+
+        transient_event = self.transient_detector.observe(episode, record.total_reward)
+        permanent_event = self.permanent_detector.observe(
+            episode, record.total_reward, exploration_steady=schedule.is_steady()
+        )
+
+        # Permanent handling takes priority: it implies the transient-style
+        # boost was not enough (the reward never came back up).
+        if permanent_event is not None and not self._in_cooldown(episode):
+            self.state.permanent_detections += 1
+            slowdown = 2.0**self.state.permanent_detections
+            old_rate = schedule.epsilon
+            new_rate = schedule.restart(decay_slowdown=slowdown)
+            self.state.adjustments.append(
+                ExplorationAdjustment(
+                    episode=episode,
+                    kind="permanent",
+                    old_rate=old_rate,
+                    new_rate=new_rate,
+                    decay_slowdown=slowdown,
+                )
+            )
+            self._last_adjustment_episode = episode
+            return
+
+        if transient_event is not None and not self._in_cooldown(episode):
+            self.state.transient_detections += 1
+            delta = self.exploration_delta(transient_event.reward_drop, episode)
+            if delta <= 0:
+                return
+            old_rate = schedule.epsilon
+            new_rate = schedule.boost(delta)
+            self.state.adjustments.append(
+                ExplorationAdjustment(
+                    episode=episode,
+                    kind="transient",
+                    old_rate=old_rate,
+                    new_rate=new_rate,
+                )
+            )
+            self._last_adjustment_episode = episode

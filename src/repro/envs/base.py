@@ -1,0 +1,36 @@
+"""Minimal episodic environment interface.
+
+A deliberately small protocol (reset / step) compatible with the classic gym
+API shape, so agents and trainers can be tested against simple fakes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Tuple
+
+__all__ = ["Environment"]
+
+
+class Environment:
+    """Base class for episodic environments.
+
+    Subclasses must implement :meth:`reset` and :meth:`step`.  ``info``
+    dictionaries returned by :meth:`step` may carry a boolean ``"success"``
+    entry (goal reached) and task-specific metrics such as
+    ``"flight_distance"``.
+    """
+
+    #: Number of discrete actions.
+    n_actions: int
+
+    def reset(self) -> Any:
+        """Start a new episode and return the initial state."""
+        raise NotImplementedError
+
+    def step(self, action: int) -> Tuple[Any, float, bool, Dict[str, Any]]:
+        """Apply ``action``; return ``(next_state, reward, done, info)``."""
+        raise NotImplementedError
+
+    def _check_action(self, action: int) -> None:
+        if not 0 <= action < self.n_actions:
+            raise ValueError(f"action {action} outside [0, {self.n_actions})")

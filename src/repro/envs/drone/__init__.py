@@ -1,0 +1,33 @@
+"""Drone autonomous-navigation simulator (PEDRA substitute).
+
+The paper trains and evaluates its drone policy in PEDRA, a drone RL platform
+built on Unreal Engine with photorealistic indoor environments.  That stack
+is not available offline, so this package provides a procedural substitute
+that preserves the properties the fault study depends on:
+
+* the state is a monocular camera image produced from the drone's pose by
+  ray-casting against the environment geometry (depth-like intensity image),
+* the action space is a 25-way perception-based set of heading/step commands,
+* the reward encourages staying away from obstacles, and
+* the quality-of-flight metric is Mean Safe Flight (MSF): average distance
+  travelled before collision.
+
+Two layouts, ``indoor-long`` and ``indoor-vanleer``, mirror the relative
+difficulty of the two PEDRA maps used in Fig. 7b.
+"""
+
+from repro.envs.drone.world import CorridorWorld, Rect, indoor_long, indoor_vanleer
+from repro.envs.drone.camera import DepthCamera
+from repro.envs.drone.actions import ActionSpace25
+from repro.envs.drone.env import DroneNavEnv, make_drone_env
+
+__all__ = [
+    "CorridorWorld",
+    "Rect",
+    "indoor_long",
+    "indoor_vanleer",
+    "DepthCamera",
+    "ActionSpace25",
+    "DroneNavEnv",
+    "make_drone_env",
+]

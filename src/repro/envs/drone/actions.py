@@ -1,0 +1,51 @@
+"""Perception-based 25-way action space.
+
+The paper's drone policy selects among 25 actions derived from the camera's
+field of view (Sec. 4.2).  Here each action is a (yaw offset, forward step)
+pair: 25 yaw offsets spread across the field of view, each followed by a
+fixed forward translation.  Action 12 (the centre) flies straight ahead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["ActionSpace25"]
+
+
+@dataclass(frozen=True)
+class ActionSpace25:
+    """Discrete action set of 25 yaw-offset / forward-step commands."""
+
+    n_actions: int = 25
+    max_yaw_degrees: float = 60.0
+    forward_step: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.n_actions < 2:
+            raise ValueError("need at least 2 actions")
+        if self.max_yaw_degrees <= 0 or self.max_yaw_degrees >= 180:
+            raise ValueError(f"max_yaw_degrees must be in (0, 180), got {self.max_yaw_degrees}")
+        if self.forward_step <= 0:
+            raise ValueError(f"forward_step must be positive, got {self.forward_step}")
+
+    @property
+    def yaw_offsets(self) -> np.ndarray:
+        """Yaw offset (radians) of every action, left-to-right."""
+        return np.deg2rad(
+            np.linspace(self.max_yaw_degrees, -self.max_yaw_degrees, self.n_actions)
+        )
+
+    @property
+    def straight_action(self) -> int:
+        """Index of the action that flies straight ahead."""
+        return self.n_actions // 2
+
+    def command(self, action: int) -> Tuple[float, float]:
+        """Return (yaw_offset_radians, forward_distance) for an action index."""
+        if not 0 <= action < self.n_actions:
+            raise ValueError(f"action {action} outside [0, {self.n_actions})")
+        return float(self.yaw_offsets[action]), self.forward_step

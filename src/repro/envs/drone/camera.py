@@ -1,0 +1,86 @@
+"""Synthetic monocular camera.
+
+PEDRA feeds the policy a front-facing monocular image.  Here the camera
+ray-casts against the 2-D floor plan across its horizontal field of view to
+obtain a depth profile, then expands it into an (1, H, W) intensity image:
+nearby surfaces appear bright and tall (filling more vertical extent), far
+surfaces dim and short, with a floor/ceiling gradient.  The result is an
+image-shaped tensor whose structure a small CNN can exploit for obstacle
+avoidance — the same role the photorealistic render plays in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.envs.drone.world import CorridorWorld
+
+__all__ = ["DepthCamera"]
+
+
+class DepthCamera:
+    """Ray-casting depth camera producing (1, height, width) images."""
+
+    def __init__(
+        self,
+        width: int = 32,
+        height: int = 32,
+        fov_degrees: float = 90.0,
+        max_range: float = 20.0,
+    ) -> None:
+        if width <= 1 or height <= 1:
+            raise ValueError("camera width and height must be greater than 1")
+        if not 0.0 < fov_degrees < 180.0:
+            raise ValueError(f"fov_degrees must be in (0, 180), got {fov_degrees}")
+        if max_range <= 0:
+            raise ValueError(f"max_range must be positive, got {max_range}")
+        self.width = width
+        self.height = height
+        self.fov = np.deg2rad(fov_degrees)
+        self.max_range = max_range
+
+    @property
+    def image_shape(self) -> Tuple[int, int, int]:
+        """Shape of rendered images: (channels, height, width)."""
+        return (1, self.height, self.width)
+
+    def depth_profile(
+        self, world: CorridorWorld, x: float, y: float, heading: float
+    ) -> np.ndarray:
+        """Per-column distance to the nearest surface, left-to-right."""
+        angles = heading + np.linspace(self.fov / 2.0, -self.fov / 2.0, self.width)
+        return np.array(
+            [world.ray_distance(x, y, a, self.max_range) for a in angles],
+            dtype=np.float64,
+        )
+
+    def render(
+        self, world: CorridorWorld, x: float, y: float, heading: float
+    ) -> np.ndarray:
+        """Render the (1, H, W) intensity image for a drone pose.
+
+        Intensity encodes inverse depth (closer = brighter).  Each column is
+        filled from the vertical centre outward proportionally to the
+        apparent height of the surface, so near obstacles occupy most of the
+        column while distant walls leave visible floor/ceiling bands.
+        """
+        depth = self.depth_profile(world, x, y, heading)
+        inverse = 1.0 - np.clip(depth / self.max_range, 0.0, 1.0)
+
+        image = np.zeros((self.height, self.width), dtype=np.float64)
+        rows = np.arange(self.height, dtype=np.float64)
+        centre = (self.height - 1) / 2.0
+        # Distance of each row from the vertical centre, normalized to [0, 1].
+        vertical = np.abs(rows - centre) / max(centre, 1.0)
+        for col in range(self.width):
+            # Apparent half-height of the surface in this column: near
+            # surfaces (inverse ~ 1) fill the column, far ones only the middle.
+            apparent = 0.15 + 0.85 * inverse[col]
+            filled = vertical <= apparent
+            image[filled, col] = inverse[col]
+            # Floor/ceiling gradient outside the surface extent gives the
+            # network a weak horizon cue, like a rendered corridor image.
+            image[~filled, col] = 0.1 * (1.0 - vertical[~filled])
+        return image[None, :, :]

@@ -1,0 +1,181 @@
+"""Drone autonomous-navigation environment.
+
+The drone starts at a fixed pose, observes a monocular camera image and picks
+one of 25 heading/step actions.  There is no destination: the task is to fly
+as far as possible without colliding (Sec. 4.2).  The reward encourages
+staying away from obstacles, and ``info["flight_distance"]`` carries the
+cumulative safe-flight distance used for the Mean Safe Flight (MSF) metric.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.envs.base import Environment
+from repro.envs.drone.actions import ActionSpace25
+from repro.envs.drone.camera import DepthCamera
+from repro.envs.drone.world import CorridorWorld, indoor_long, indoor_vanleer
+
+__all__ = ["DroneNavEnv", "make_drone_env"]
+
+
+class DroneNavEnv(Environment):
+    """Episodic drone corridor-navigation MDP with image states.
+
+    Parameters
+    ----------
+    world:
+        Floor-plan geometry to fly through.
+    camera:
+        Monocular depth camera producing the state images.
+    action_space:
+        The 25-way heading/step action set.
+    collision_radius:
+        Clearance below which the drone is considered to have collided.
+    clearance_reward_scale:
+        Weight of the stay-away-from-obstacles reward shaping term.
+    collision_penalty:
+        Reward on the terminal collision step.
+    max_flight_distance:
+        Episodes also end (successfully) once this distance is covered,
+        bounding episode length on the easy map.
+    stall_window, stall_distance:
+        If the drone's net displacement over the last ``stall_window`` steps
+        falls below ``stall_distance`` metres, the episode ends as a failed
+        flight.  This terminates degenerate circling/hovering behaviours
+        (which a corrupted policy often produces) instead of letting them
+        accumulate unbounded "safe" flight distance.
+    """
+
+    def __init__(
+        self,
+        world: Optional[CorridorWorld] = None,
+        camera: Optional[DepthCamera] = None,
+        action_space: Optional[ActionSpace25] = None,
+        collision_radius: float = 0.4,
+        clearance_reward_scale: float = 0.5,
+        collision_penalty: float = -2.0,
+        max_flight_distance: float = 200.0,
+        substeps: int = 4,
+        stall_window: int = 15,
+        stall_distance: float = 2.0,
+    ) -> None:
+        self.world = world or indoor_long()
+        self.camera = camera or DepthCamera()
+        self.actions = action_space or ActionSpace25()
+        self.n_actions = self.actions.n_actions
+        if collision_radius <= 0:
+            raise ValueError(f"collision_radius must be positive, got {collision_radius}")
+        if substeps < 1:
+            raise ValueError(f"substeps must be >= 1, got {substeps}")
+        self.collision_radius = collision_radius
+        self.clearance_reward_scale = clearance_reward_scale
+        self.collision_penalty = collision_penalty
+        self.max_flight_distance = max_flight_distance
+        self.substeps = substeps
+        if stall_window < 2:
+            raise ValueError(f"stall_window must be >= 2, got {stall_window}")
+        self.stall_window = stall_window
+        self.stall_distance = stall_distance
+        self._x, self._y, self._heading = self.world.start_pose
+        self._flight_distance = 0.0
+        self._recent_positions: list = []
+
+    # ------------------------------------------------------------------ #
+    # State
+    # ------------------------------------------------------------------ #
+    @property
+    def pose(self) -> Tuple[float, float, float]:
+        """Current (x, y, heading) of the drone."""
+        return self._x, self._y, self._heading
+
+    @property
+    def flight_distance(self) -> float:
+        """Distance flown so far this episode."""
+        return self._flight_distance
+
+    @property
+    def state_shape(self) -> Tuple[int, int, int]:
+        return self.camera.image_shape
+
+    def _observe(self) -> np.ndarray:
+        return self.camera.render(self.world, self._x, self._y, self._heading)
+
+    # ------------------------------------------------------------------ #
+    # Episode dynamics
+    # ------------------------------------------------------------------ #
+    def reset(self) -> np.ndarray:
+        self._x, self._y, self._heading = self.world.start_pose
+        self._flight_distance = 0.0
+        self._recent_positions = [(self._x, self._y, 0.0)]
+        return self._observe()
+
+    def _is_stalled(self) -> bool:
+        """True when the drone has stopped making progress (circling/hovering).
+
+        When a stall is detected the reported flight distance is rolled back
+        to the point where progress stopped, so loitering does not inflate
+        the Mean Safe Flight metric.
+        """
+        self._recent_positions.append((self._x, self._y, self._flight_distance))
+        if len(self._recent_positions) <= self.stall_window:
+            return False
+        self._recent_positions = self._recent_positions[-(self.stall_window + 1) :]
+        old_x, old_y, old_distance = self._recent_positions[0]
+        displacement = float(np.hypot(self._x - old_x, self._y - old_y))
+        if displacement < self.stall_distance:
+            self._flight_distance = old_distance
+            return True
+        return False
+
+    def step(self, action: int) -> Tuple[np.ndarray, float, bool, Dict[str, float]]:
+        self._check_action(action)
+        yaw_offset, forward = self.actions.command(action)
+        self._heading += yaw_offset
+
+        # Advance in sub-steps so the drone cannot tunnel through thin obstacles.
+        step_length = forward / self.substeps
+        collided = False
+        for _ in range(self.substeps):
+            new_x = self._x + step_length * float(np.cos(self._heading))
+            new_y = self._y + step_length * float(np.sin(self._heading))
+            if not self.world.is_free(new_x, new_y, margin=self.collision_radius):
+                collided = True
+                break
+            self._x, self._y = new_x, new_y
+            self._flight_distance += step_length
+
+        observation = self._observe()
+        info = {"flight_distance": self._flight_distance, "success": False}
+        if collided:
+            return observation, self.collision_penalty, True, info
+        if self._is_stalled():
+            # Circling or hovering in place: end the flight as a failure so
+            # degenerate policies cannot accumulate unbounded safe distance.
+            info["flight_distance"] = self._flight_distance
+            return observation, self.collision_penalty / 2.0, True, info
+
+        clearance = self.world.clearance(self._x, self._y)
+        # Reward forward progress and distance from the nearest surface.
+        reward = 0.1 + self.clearance_reward_scale * min(clearance, 3.0) / 3.0
+        done = self._flight_distance >= self.max_flight_distance
+        if done:
+            info["success"] = True
+        return observation, reward, done, info
+
+
+def make_drone_env(
+    environment: str = "indoor-long",
+    image_size: int = 32,
+    **kwargs,
+) -> DroneNavEnv:
+    """Build a drone environment by name (``"indoor-long"`` or ``"indoor-vanleer"``)."""
+    builders = {"indoor-long": indoor_long, "indoor-vanleer": indoor_vanleer}
+    if environment not in builders:
+        raise ValueError(
+            f"unknown environment {environment!r}; choose from {sorted(builders)}"
+        )
+    camera = DepthCamera(width=image_size, height=image_size)
+    return DroneNavEnv(world=builders[environment](), camera=camera, **kwargs)

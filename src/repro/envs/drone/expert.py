@@ -1,0 +1,119 @@
+"""Privileged geometric expert for the drone task.
+
+The paper pre-trains its drone policy offline (Double DQN in PEDRA) before
+fine-tuning online.  Offline pre-training of a CNN by RL is far too slow in
+pure numpy, so the reproduction substitutes *supervised pre-training against
+a privileged expert*: for any drone pose the expert scores each of the 25
+actions by the free-space distance along that action's heading (which it
+reads directly from the world geometry).  The C3F2 network is then trained
+to predict these per-action clearance scores from the camera image alone
+(see :func:`repro.rl.imitation.pretrain_drone_policy`), which yields the same
+kind of "turn toward open space" policy the paper's RL training produces.
+The substitution is documented in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.envs.drone.env import DroneNavEnv
+
+__all__ = ["GreedyDepthExpert", "collect_dataset"]
+
+
+class GreedyDepthExpert:
+    """Scores each action by simulating it against the world geometry.
+
+    The score of an action combines three terms, all computed with privileged
+    access to the floor plan:
+
+    * 0 if executing the action (yaw change plus forward step, in sub-steps)
+      would collide,
+    * otherwise the free distance looking ahead from the post-action pose
+      (normalized by ``lookahead``),
+    * plus ``clearance_weight`` times the all-around clearance at the
+      post-action pose, which makes the expert start weaving *before* it is
+      boxed in,
+    * plus a small straight-ahead bonus to break ties without dithering.
+    """
+
+    def __init__(
+        self,
+        env: DroneNavEnv,
+        lookahead: float = 12.0,
+        clearance_weight: float = 0.3,
+        straight_bonus: float = 0.03,
+    ) -> None:
+        if lookahead <= 0:
+            raise ValueError(f"lookahead must be positive, got {lookahead}")
+        if clearance_weight < 0:
+            raise ValueError(f"clearance_weight must be non-negative, got {clearance_weight}")
+        self.env = env
+        self.lookahead = lookahead
+        self.clearance_weight = clearance_weight
+        self.straight_bonus = straight_bonus
+
+    def _simulate_action(
+        self, x: float, y: float, heading: float, action: int
+    ) -> Optional[Tuple[float, float, float]]:
+        """Post-action pose, or None if the move collides."""
+        yaw_offset, forward = self.env.actions.command(action)
+        new_heading = heading + yaw_offset
+        margin = self.env.collision_radius + 0.05
+        step = forward / self.env.substeps
+        for _ in range(self.env.substeps):
+            x = x + step * float(np.cos(new_heading))
+            y = y + step * float(np.sin(new_heading))
+            if not self.env.world.is_free(x, y, margin=margin):
+                return None
+        return x, y, new_heading
+
+    def action_scores(self, pose: Optional[Tuple[float, float, float]] = None) -> np.ndarray:
+        """Score in [0, ~1.5] for each action; higher is safer/more open."""
+        x, y, heading = pose if pose is not None else self.env.pose
+        world = self.env.world
+        scores = np.zeros(self.env.actions.n_actions, dtype=np.float64)
+        for action in range(self.env.actions.n_actions):
+            outcome = self._simulate_action(x, y, heading, action)
+            if outcome is None:
+                continue
+            nx, ny, nheading = outcome
+            ahead = world.ray_distance(nx, ny, nheading, self.lookahead) / self.lookahead
+            clearance = min(world.clearance(nx, ny), 3.0) / 3.0
+            scores[action] = ahead + self.clearance_weight * clearance
+        scores[self.env.actions.straight_action] += self.straight_bonus
+        return scores
+
+    def select_action(self, state: np.ndarray = None) -> int:
+        """Best action for the environment's *current* pose (state is ignored)."""
+        return int(np.argmax(self.action_scores()))
+
+
+def collect_dataset(
+    env: DroneNavEnv,
+    expert: GreedyDepthExpert,
+    num_samples: int,
+    rng: np.random.Generator,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Sample (image, per-action clearance score) pairs from random free poses.
+
+    Poses are drawn uniformly over the free space of the environment's world
+    with random headings, which covers the states the policy will encounter
+    far better than on-policy rollouts of an untrained network.
+    """
+    if num_samples <= 0:
+        raise ValueError(f"num_samples must be positive, got {num_samples}")
+    images: List[np.ndarray] = []
+    targets: List[np.ndarray] = []
+    world = env.world
+    while len(images) < num_samples:
+        x = rng.uniform(0.0, world.length)
+        y = rng.uniform(0.0, world.width)
+        if not world.is_free(x, y, margin=env.collision_radius):
+            continue
+        heading = rng.uniform(-np.pi, np.pi)
+        images.append(env.camera.render(world, x, y, heading))
+        targets.append(expert.action_scores((x, y, heading)))
+    return np.stack(images), np.stack(targets)

@@ -1,0 +1,191 @@
+"""2-D plan-view geometry of the indoor drone environments.
+
+The drone flies at a fixed altitude, so the world is modelled as a 2-D floor
+plan: an outer rectangular boundary plus axis-aligned rectangular obstacles
+(columns, furniture, wall stubs).  The camera ray-casts against this geometry
+to produce depth images, and the environment checks the drone's clearance
+against it for collision detection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["Rect", "CorridorWorld", "indoor_long", "indoor_vanleer"]
+
+
+@dataclass(frozen=True)
+class Rect:
+    """Axis-aligned rectangle ``[x0, x1] x [y0, y1]`` (an obstacle footprint)."""
+
+    x0: float
+    y0: float
+    x1: float
+    y1: float
+
+    def __post_init__(self) -> None:
+        if self.x1 <= self.x0 or self.y1 <= self.y0:
+            raise ValueError(f"degenerate rectangle {self}")
+
+    def contains(self, x: float, y: float, margin: float = 0.0) -> bool:
+        """Whether the point lies inside the rectangle grown by ``margin``."""
+        return (
+            self.x0 - margin <= x <= self.x1 + margin
+            and self.y0 - margin <= y <= self.y1 + margin
+        )
+
+    def ray_intersection(
+        self, ox: float, oy: float, dx: float, dy: float
+    ) -> Optional[float]:
+        """Distance along the ray to the rectangle, or None if it misses.
+
+        Standard slab method; only intersections in front of the origin
+        (positive distance) count.
+        """
+        t_min, t_max = -np.inf, np.inf
+        for origin, direction, lo, hi in (
+            (ox, dx, self.x0, self.x1),
+            (oy, dy, self.y0, self.y1),
+        ):
+            if abs(direction) < 1e-12:
+                if origin < lo or origin > hi:
+                    return None
+                continue
+            t1 = (lo - origin) / direction
+            t2 = (hi - origin) / direction
+            if t1 > t2:
+                t1, t2 = t2, t1
+            t_min = max(t_min, t1)
+            t_max = min(t_max, t2)
+            if t_min > t_max:
+                return None
+        if t_max < 0:
+            return None
+        return float(max(t_min, 0.0))
+
+
+class CorridorWorld:
+    """An indoor floor plan: outer boundary plus rectangular obstacles."""
+
+    def __init__(
+        self,
+        length: float,
+        width: float,
+        obstacles: List[Rect],
+        start_pose: Tuple[float, float, float],
+        name: str = "corridor",
+    ) -> None:
+        if length <= 0 or width <= 0:
+            raise ValueError("world length and width must be positive")
+        self.length = length
+        self.width = width
+        self.obstacles = list(obstacles)
+        self.start_pose = start_pose
+        self.name = name
+        sx, sy, _ = start_pose
+        if not self.is_free(sx, sy, margin=0.0):
+            raise ValueError(f"start pose {start_pose} is inside an obstacle or wall")
+
+    # ------------------------------------------------------------------ #
+    # Occupancy queries
+    # ------------------------------------------------------------------ #
+    def in_bounds(self, x: float, y: float, margin: float = 0.0) -> bool:
+        """Whether a point is inside the outer boundary (shrunk by ``margin``)."""
+        return margin <= x <= self.length - margin and margin <= y <= self.width - margin
+
+    def is_free(self, x: float, y: float, margin: float = 0.0) -> bool:
+        """Whether a point (with clearance ``margin``) is collision-free."""
+        if not self.in_bounds(x, y, margin):
+            return False
+        return not any(rect.contains(x, y, margin) for rect in self.obstacles)
+
+    def clearance(self, x: float, y: float, num_rays: int = 16, max_range: float = 10.0) -> float:
+        """Approximate distance to the nearest surface, by radial ray casting."""
+        angles = np.linspace(0.0, 2.0 * np.pi, num_rays, endpoint=False)
+        distances = [self.ray_distance(x, y, a, max_range) for a in angles]
+        return float(min(distances))
+
+    # ------------------------------------------------------------------ #
+    # Ray casting
+    # ------------------------------------------------------------------ #
+    def ray_distance(self, x: float, y: float, angle: float, max_range: float = 30.0) -> float:
+        """Distance from (x, y) along ``angle`` to the first surface."""
+        dx, dy = float(np.cos(angle)), float(np.sin(angle))
+        best = self._boundary_distance(x, y, dx, dy)
+        for rect in self.obstacles:
+            hit = rect.ray_intersection(x, y, dx, dy)
+            if hit is not None and hit < best:
+                best = hit
+        return float(min(best, max_range))
+
+    def _boundary_distance(self, x: float, y: float, dx: float, dy: float) -> float:
+        """Distance to the outer walls along a ray starting inside the world."""
+        candidates = []
+        if dx > 1e-12:
+            candidates.append((self.length - x) / dx)
+        elif dx < -1e-12:
+            candidates.append(-x / dx)
+        if dy > 1e-12:
+            candidates.append((self.width - y) / dy)
+        elif dy < -1e-12:
+            candidates.append(-y / dy)
+        positive = [c for c in candidates if c >= 0]
+        return float(min(positive)) if positive else float("inf")
+
+
+def indoor_long(name: str = "indoor-long") -> CorridorWorld:
+    """A long straight corridor with sparse columns (the easier map).
+
+    Analogue of PEDRA's ``indoor-long``: the fault-free policy can fly far,
+    so there is headroom for faults to reduce the safe flight distance.
+    """
+    obstacles = [
+        Rect(12.0, 0.0, 13.0, 2.2),
+        Rect(20.0, 3.8, 21.0, 6.0),
+        Rect(30.0, 0.0, 31.0, 2.5),
+        Rect(38.0, 3.5, 39.0, 6.0),
+        Rect(48.0, 0.0, 49.0, 2.2),
+        Rect(56.0, 3.8, 57.0, 6.0),
+        Rect(66.0, 0.0, 67.0, 2.5),
+        Rect(74.0, 3.5, 75.0, 6.0),
+        Rect(84.0, 0.0, 85.0, 2.2),
+        Rect(92.0, 3.8, 93.0, 6.0),
+    ]
+    return CorridorWorld(
+        length=100.0,
+        width=6.0,
+        obstacles=obstacles,
+        start_pose=(2.0, 3.0, 0.0),
+        name=name,
+    )
+
+
+def indoor_vanleer(name: str = "indoor-vanleer") -> CorridorWorld:
+    """A shorter, more cluttered corridor with staggered obstacles (the harder map).
+
+    Obstacles alternate between the bottom and top halves of the corridor
+    every seven metres, so the drone has to weave continuously instead of
+    flying a straight line — the map is denser than ``indoor-long`` but every
+    gap is wide enough for a competent policy to thread.
+    """
+    obstacles = [
+        Rect(9.0, 0.0, 10.0, 2.6),
+        Rect(16.0, 3.4, 17.0, 6.0),
+        Rect(23.0, 0.0, 24.0, 2.6),
+        Rect(30.0, 3.4, 31.0, 6.0),
+        Rect(37.0, 0.0, 38.0, 2.6),
+        Rect(44.0, 3.4, 45.0, 6.0),
+        Rect(51.0, 0.0, 52.0, 2.6),
+        Rect(58.0, 3.4, 59.0, 6.0),
+        Rect(65.0, 0.0, 66.0, 2.6),
+    ]
+    return CorridorWorld(
+        length=70.0,
+        width=6.0,
+        obstacles=obstacles,
+        start_pose=(2.0, 3.0, 0.0),
+        name=name,
+    )

@@ -1,0 +1,296 @@
+"""Grid World navigation environment (paper Sec. 4.1, Fig. 1).
+
+A 10x10 grid in which each cell is one of ``source``, ``goal``, ``hell``
+(obstacle) or ``free``.  The agent starts at the source and must reach the
+goal while avoiding hell cells.  Rewards are +1 (goal), -1 (hell) and 0
+(free); reaching goal or hell ends the episode.  Three layouts with low,
+middle and high obstacle density mirror Fig. 1a-c (the exact obstacle cells
+of the figure are not published, so the layouts here are representative
+placements at matching densities with a guaranteed path to the goal).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.envs.base import Environment
+
+__all__ = [
+    "GridLayout",
+    "GridWorld",
+    "LOW_DENSITY",
+    "MIDDLE_DENSITY",
+    "HIGH_DENSITY",
+    "make_gridworld",
+]
+
+#: Cell symbols used in layout maps.
+SOURCE, GOAL, HELL, FREE = "S", "G", "#", "."
+
+#: Action indices: move-up, move-down, move-left, move-right (|A| = 4).
+ACTION_DELTAS: Dict[int, Tuple[int, int]] = {
+    0: (-1, 0),  # up
+    1: (1, 0),  # down
+    2: (0, -1),  # left
+    3: (0, 1),  # right
+}
+ACTION_NAMES = ("up", "down", "left", "right")
+
+
+@dataclass(frozen=True)
+class GridLayout:
+    """An immutable Grid World map."""
+
+    name: str
+    rows: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        widths = {len(row) for row in self.rows}
+        if len(widths) != 1:
+            raise ValueError(f"layout {self.name!r} has ragged rows")
+        flat = "".join(self.rows)
+        if flat.count(SOURCE) != 1:
+            raise ValueError(f"layout {self.name!r} must have exactly one source cell")
+        if flat.count(GOAL) != 1:
+            raise ValueError(f"layout {self.name!r} must have exactly one goal cell")
+        invalid = set(flat) - {SOURCE, GOAL, HELL, FREE}
+        if invalid:
+            raise ValueError(f"layout {self.name!r} has invalid symbols {invalid}")
+
+    @property
+    def size(self) -> Tuple[int, int]:
+        return len(self.rows), len(self.rows[0])
+
+    @property
+    def n_cells(self) -> int:
+        height, width = self.size
+        return height * width
+
+    def cell(self, row: int, col: int) -> str:
+        return self.rows[row][col]
+
+    def find(self, symbol: str) -> Tuple[int, int]:
+        """Coordinates of the first cell holding ``symbol``."""
+        for r, row in enumerate(self.rows):
+            c = row.find(symbol)
+            if c >= 0:
+                return r, c
+        raise ValueError(f"symbol {symbol!r} not present in layout {self.name!r}")
+
+    def obstacle_density(self) -> float:
+        """Fraction of cells that are hell (obstacles)."""
+        flat = "".join(self.rows)
+        return flat.count(HELL) / len(flat)
+
+    def obstacle_cells(self) -> List[Tuple[int, int]]:
+        return [
+            (r, c)
+            for r, row in enumerate(self.rows)
+            for c, symbol in enumerate(row)
+            if symbol == HELL
+        ]
+
+
+#: Fig. 1a — low obstacle density (~8%).
+LOW_DENSITY = GridLayout(
+    name="low",
+    rows=(
+        "S.........",
+        "..........",
+        "...#......",
+        "......#...",
+        "..#.......",
+        ".......#..",
+        "...#......",
+        ".....#....",
+        "..#.......",
+        ".........G",
+    ),
+)
+
+#: Fig. 1b — middle obstacle density (~16%); the layout used for the paper's
+#: reported Grid World numbers.
+MIDDLE_DENSITY = GridLayout(
+    name="middle",
+    rows=(
+        "S.........",
+        "..#...#...",
+        "....#....#",
+        ".#...#....",
+        "...#....#.",
+        ".#...#....",
+        "....#...#.",
+        ".#....#...",
+        "...#....#.",
+        ".....#...G",
+    ),
+)
+
+#: Fig. 1c — high obstacle density (~24%).
+HIGH_DENSITY = GridLayout(
+    name="high",
+    rows=(
+        "S..#....#.",
+        "..#...#...",
+        ".#..#....#",
+        "...#..#...",
+        ".#...#...#",
+        "..#....#..",
+        "#...#.....",
+        "..#...#.#.",
+        ".#..#.....",
+        "...#..#..G",
+    ),
+)
+
+_LAYOUTS = {layout.name: layout for layout in (LOW_DENSITY, MIDDLE_DENSITY, HIGH_DENSITY)}
+
+
+class GridWorld(Environment):
+    """Episodic Grid World MDP.
+
+    States are flattened cell indices ``row * width + col`` (``|S| = n**2``);
+    actions are the four cardinal moves.  Moving off the grid leaves the
+    agent in place (reward 0).
+    """
+
+    def __init__(
+        self,
+        layout: GridLayout = MIDDLE_DENSITY,
+        goal_reward: float = 1.0,
+        hell_reward: float = -1.0,
+        free_reward: float = 0.0,
+        bump_reward: float = 0.0,
+        random_start: bool = False,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        self.layout = layout
+        self.goal_reward = goal_reward
+        self.hell_reward = hell_reward
+        self.free_reward = free_reward
+        #: Optional penalty for bumping into the boundary (the agent stays in
+        #: place).  The paper's reward is {+1 goal, -1 hell, 0 free}; the NN
+        #: training preset uses a small bump/step penalty to discourage
+        #: degenerate wall-hugging policies under function approximation
+        #: (see repro.experiments.config).
+        self.bump_reward = bump_reward
+        #: With ``random_start=True`` each episode begins at a random free
+        #: cell instead of the source (exploring starts).  Used only while
+        #: *training* the NN-based policy, whose function approximation needs
+        #: broader state coverage than the tabular agent; evaluation always
+        #: starts from the source cell.
+        self.random_start = random_start
+        self.rng = rng or np.random.default_rng()
+        self.height, self.width = layout.size
+        self.n_states = layout.n_cells
+        self.n_actions = len(ACTION_DELTAS)
+        self._source = layout.find(SOURCE)
+        self._goal = layout.find(GOAL)
+        self._position = self._source
+
+    # ------------------------------------------------------------------ #
+    # State helpers
+    # ------------------------------------------------------------------ #
+    def state_index(self, position: Tuple[int, int]) -> int:
+        row, col = position
+        return row * self.width + col
+
+    def position_of(self, state: int) -> Tuple[int, int]:
+        if not 0 <= state < self.n_states:
+            raise ValueError(f"state {state} outside [0, {self.n_states})")
+        return divmod(state, self.width)
+
+    def one_hot(self, state: int) -> np.ndarray:
+        """One-hot feature encoding used by the NN-based policy."""
+        encoded = np.zeros(self.n_states, dtype=np.float64)
+        encoded[state] = 1.0
+        return encoded
+
+    @property
+    def goal_state(self) -> int:
+        return self.state_index(self._goal)
+
+    @property
+    def source_state(self) -> int:
+        return self.state_index(self._source)
+
+    # ------------------------------------------------------------------ #
+    # Episode dynamics
+    # ------------------------------------------------------------------ #
+    def reset(self) -> int:
+        if self.random_start:
+            free_cells = [
+                (r, c)
+                for r in range(self.height)
+                for c in range(self.width)
+                if self.layout.cell(r, c) in (FREE, SOURCE)
+            ]
+            self._position = free_cells[int(self.rng.integers(len(free_cells)))]
+        else:
+            self._position = self._source
+        return self.state_index(self._position)
+
+    def step(self, action: int) -> Tuple[int, float, bool, Dict[str, bool]]:
+        self._check_action(action)
+        d_row, d_col = ACTION_DELTAS[action]
+        row, col = self._position
+        new_row, new_col = row + d_row, col + d_col
+        bumped = False
+        if not (0 <= new_row < self.height and 0 <= new_col < self.width):
+            # Bumping into the boundary keeps the agent in place.
+            new_row, new_col = row, col
+            bumped = True
+        self._position = (new_row, new_col)
+        cell = self.layout.cell(new_row, new_col)
+        if cell == GOAL:
+            return self.state_index(self._position), self.goal_reward, True, {"success": True}
+        if cell == HELL:
+            return self.state_index(self._position), self.hell_reward, True, {"success": False}
+        reward = self.bump_reward if bumped else self.free_reward
+        return self.state_index(self._position), reward, False, {"success": False}
+
+    # ------------------------------------------------------------------ #
+    # Analysis helpers
+    # ------------------------------------------------------------------ #
+    def shortest_path_length(self) -> int:
+        """BFS shortest source->goal path length avoiding hell cells."""
+        from collections import deque
+
+        start = self._source
+        goal = self._goal
+        visited = {start}
+        queue = deque([(start, 0)])
+        while queue:
+            (row, col), dist = queue.popleft()
+            if (row, col) == goal:
+                return dist
+            for d_row, d_col in ACTION_DELTAS.values():
+                nxt = (row + d_row, col + d_col)
+                if not (0 <= nxt[0] < self.height and 0 <= nxt[1] < self.width):
+                    continue
+                if nxt in visited or self.layout.cell(*nxt) == HELL:
+                    continue
+                visited.add(nxt)
+                queue.append((nxt, dist + 1))
+        raise ValueError(f"layout {self.layout.name!r} has no path from source to goal")
+
+    def render(self, agent_state: Optional[int] = None) -> str:
+        """ASCII rendering with the agent marked ``A``."""
+        position = self._position if agent_state is None else self.position_of(agent_state)
+        lines = []
+        for r, row in enumerate(self.layout.rows):
+            chars = list(row)
+            if (r, None) is not None and position[0] == r:
+                chars[position[1]] = "A"
+            lines.append("".join(chars))
+        return "\n".join(lines)
+
+
+def make_gridworld(density: str = "middle", **kwargs) -> GridWorld:
+    """Build a GridWorld by density name: ``"low"``, ``"middle"`` or ``"high"``."""
+    if density not in _LAYOUTS:
+        raise ValueError(f"unknown density {density!r}; choose from {sorted(_LAYOUTS)}")
+    return GridWorld(layout=_LAYOUTS[density], **kwargs)

@@ -1,0 +1,29 @@
+"""Experiment drivers, one per paper figure.
+
+Each module exposes ``run_*`` functions that return
+:class:`~repro.io.results.ResultTable` / :class:`~repro.io.results.SeriesResult`
+objects reproducing the rows and series of the corresponding figure.  The
+benchmark harness under ``benchmarks/`` calls these drivers and prints the
+resulting tables; EXPERIMENTS.md records paper-vs-measured values.
+
+Experiment sizes (repetitions, sweep densities, training lengths) are
+controlled by the config presets in :mod:`repro.experiments.config`; the
+defaults are sized for a laptop CPU and can be scaled up through environment
+variables (``REPRO_SCALE``, ``REPRO_CAMPAIGN_REPS``).
+"""
+
+from repro.experiments.config import (
+    ExperimentScale,
+    GridTabularConfig,
+    GridNNConfig,
+    DroneConfig,
+    get_scale,
+)
+
+__all__ = [
+    "ExperimentScale",
+    "GridTabularConfig",
+    "GridNNConfig",
+    "DroneConfig",
+    "get_scale",
+]

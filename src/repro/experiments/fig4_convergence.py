@@ -1,0 +1,154 @@
+"""Fig. 4 — long-term convergence after faults.
+
+Panels (a)/(c): how many episodes the tabular / NN agent needs to converge
+back (>95% success over a window) after a transient fault is injected late in
+training, as a function of the bit error rate.  The paper finds both
+converge, with the tabular agent needing roughly twice as many episodes.
+
+Panels (b)/(d): the policy's success rate after training an *additional*
+1000/2000 episodes under stuck-at-0 / stuck-at-1 faults — extra training does
+not help once the BER passes a threshold.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.campaign import Campaign, TrialOutcome
+from repro.core.injector import PermanentTrainingFaultHook, TransientTrainingFaultHook
+from repro.experiments.common import (
+    evaluate_grid_policy,
+    greedy_policy,
+    train_grid_nn,
+    train_tabular,
+)
+from repro.experiments.config import GridNNConfig, GridTabularConfig
+from repro.io.results import ResultTable
+
+__all__ = ["run_transient_convergence", "run_permanent_extra_training"]
+
+GridConfig = Union[GridTabularConfig, GridNNConfig]
+
+
+def _train(config: GridConfig, rng: np.random.Generator, hooks, episodes: int):
+    if isinstance(config, GridNNConfig):
+        return train_grid_nn(config, rng, hooks=hooks, episodes=episodes)
+    return train_tabular(config, rng, hooks=hooks, episodes=episodes)
+
+
+def run_transient_convergence(
+    config: GridConfig,
+    bit_error_rates: Sequence[float],
+    injection_fraction: float = 0.9,
+    extra_episodes: Optional[int] = None,
+    convergence_window: int = 50,
+    convergence_threshold: float = 0.9,
+    seed: int = 0,
+    repetitions: Optional[int] = None,
+) -> ResultTable:
+    """Episodes needed to converge back after a late transient fault (Fig. 4a/4c).
+
+    The fault is injected at ``injection_fraction`` of the nominal training
+    length; training then continues for ``extra_episodes`` more episodes and
+    the convergence point is measured on the post-injection success history.
+    """
+    approach = "nn" if isinstance(config, GridNNConfig) else "tabular"
+    repetitions = repetitions or config.repetitions
+    inject_episode = int(config.episodes * injection_fraction)
+    extra = extra_episodes if extra_episodes is not None else config.episodes
+    total_episodes = inject_episode + extra
+    table = ResultTable(title=f"Fig4 transient convergence ({approach})")
+
+    for ber in bit_error_rates:
+        def trial(rng: np.random.Generator, ber=ber) -> TrialOutcome:
+            hooks = []
+            if ber > 0:
+                hooks.append(
+                    TransientTrainingFaultHook(ber, inject_episode=inject_episode, rng=rng)
+                )
+            _, _, history = _train(config, rng, hooks, total_episodes)
+            successes = history.successes[inject_episode:]
+            episodes_needed = _episodes_to_recover(
+                successes, convergence_window, convergence_threshold
+            )
+            converged = episodes_needed is not None
+            return TrialOutcome(
+                success=converged,
+                metric=float(episodes_needed if converged else len(successes)),
+            )
+
+        campaign = Campaign(f"fig4-{approach}-transient-ber{ber}", repetitions, seed=seed)
+        result = campaign.run(trial)
+        table.add(
+            approach=approach,
+            bit_error_rate=ber,
+            episodes_to_converge=result.mean_metric,
+            convergence_rate=result.success_rate,
+            repetitions=repetitions,
+        )
+    return table
+
+
+def _episodes_to_recover(
+    successes: np.ndarray, window: int, threshold: float
+) -> Optional[int]:
+    """First index at which the windowed success rate reaches the threshold."""
+    if successes.size == 0:
+        return None
+    window = min(window, successes.size)
+    flags = successes.astype(np.float64)
+    for end in range(window, flags.size + 1):
+        if flags[end - window : end].mean() >= threshold:
+            return end
+    return None
+
+
+def run_permanent_extra_training(
+    config: GridConfig,
+    bit_error_rates: Sequence[float],
+    extra_episode_grid: Sequence[int] = (1000, 2000),
+    seed: int = 0,
+    repetitions: Optional[int] = None,
+) -> ResultTable:
+    """Success rate after extended training under stuck-at faults (Fig. 4b/4d)."""
+    approach = "nn" if isinstance(config, GridNNConfig) else "tabular"
+    repetitions = repetitions or config.repetitions
+    table = ResultTable(title=f"Fig4 permanent extra training ({approach})")
+
+    for stuck_value in (0, 1):
+        for extra in extra_episode_grid:
+            for ber in bit_error_rates:
+                def trial(rng: np.random.Generator, ber=ber, stuck=stuck_value, extra=extra) -> TrialOutcome:
+                    hooks = []
+                    if ber > 0:
+                        hooks.append(
+                            PermanentTrainingFaultHook(ber, stuck_value=stuck, rng=rng)
+                        )
+                    agent, eval_env, _ = _train(
+                        config, rng, hooks, config.episodes + extra
+                    )
+                    rate = evaluate_grid_policy(
+                        greedy_policy(agent),
+                        eval_env,
+                        config.eval_trials,
+                        max_steps=config.max_steps,
+                    )
+                    return TrialOutcome(success=None, metric=rate)
+
+                campaign = Campaign(
+                    f"fig4-{approach}-sa{stuck_value}-extra{extra}-ber{ber}",
+                    repetitions,
+                    seed=seed,
+                )
+                result = campaign.run(trial)
+                table.add(
+                    approach=approach,
+                    fault_type=f"stuck-at-{stuck_value}",
+                    extra_episodes=extra,
+                    bit_error_rate=ber,
+                    success_rate=result.mean_metric,
+                    repetitions=repetitions,
+                )
+    return table

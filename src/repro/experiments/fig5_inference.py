@@ -1,0 +1,196 @@
+"""Fig. 5 — impact of faults on Grid World inference.
+
+Inference is a sequential decision process, so transient faults come in two
+modes (Sec. 4.1.2):
+
+* **Transient-1** — the fault hits a read register and corrupts only a single
+  decision step; the following steps see clean values.
+* **Transient-M** — the fault hits the memory holding the policy (Q table or
+  weights) and therefore corrupts every remaining step of the episode.
+
+Permanent stuck-at-0 / stuck-at-1 faults affect the whole episode as well.
+The clean policy is trained once per configuration and the injection is then
+repeated many times with independent fault sites.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.campaign import Campaign, TrialOutcome
+from repro.core.fault_models import StuckAtFault, TransientBitFlip
+from repro.experiments.common import (
+    greedy_policy,
+    train_grid_nn,
+    train_tabular,
+)
+from repro.experiments.config import GridNNConfig, GridTabularConfig
+from repro.io.results import ResultTable
+from repro.nn.buffers import QuantizedExecutor
+from repro.rl.dqn import DQNAgent
+from repro.rl.evaluation import greedy_rollout
+from repro.rl.tabular import TabularQAgent
+
+__all__ = ["INFERENCE_FAULT_MODES", "run_inference_fault_sweep"]
+
+GridConfig = Union[GridTabularConfig, GridNNConfig]
+
+#: The four fault modes plotted in Fig. 5.
+INFERENCE_FAULT_MODES = ("transient-1", "transient-m", "stuck-at-0", "stuck-at-1")
+
+
+# --------------------------------------------------------------------------- #
+# Tabular policy corruption
+# --------------------------------------------------------------------------- #
+def _tabular_episode(
+    agent: TabularQAgent,
+    env,
+    mode: str,
+    ber: float,
+    rng: np.random.Generator,
+    max_steps: int,
+) -> bool:
+    """Run one inference episode of the tabular policy under the given fault mode."""
+    working = agent.clone()
+    table = working.memory_buffers()["qtable"]
+    if mode == "transient-m":
+        TransientBitFlip(ber).inject(table, rng)
+    elif mode == "stuck-at-0":
+        StuckAtFault(ber, stuck_value=0).inject(table, rng)
+    elif mode == "stuck-at-1":
+        StuckAtFault(ber, stuck_value=1).inject(table, rng)
+
+    fault_step = int(rng.integers(max_steps)) if mode == "transient-1" else -1
+    state = env.reset()
+    for step in range(max_steps):
+        if step == fault_step and ber > 0:
+            # Corrupt only this decision: flip bits in a scratch copy of the
+            # table, pick the action from it, then continue with clean values.
+            scratch = agent.clone()
+            TransientBitFlip(ber).inject(scratch.memory_buffers()["qtable"], rng)
+            action = scratch.select_action(state, explore=False)
+        else:
+            action = working.select_action(state, explore=False)
+        state, _, done, info = env.step(action)
+        if done:
+            return bool(info.get("success", False))
+    return False
+
+
+# --------------------------------------------------------------------------- #
+# NN policy corruption
+# --------------------------------------------------------------------------- #
+def _nn_episode(
+    agent: DQNAgent,
+    env,
+    mode: str,
+    ber: float,
+    rng: np.random.Generator,
+    max_steps: int,
+    qformat,
+) -> bool:
+    """Run one inference episode of the NN policy under the given fault mode."""
+    executor = QuantizedExecutor(agent.network, qformat)
+    faulty_executor: Optional[QuantizedExecutor] = None
+    try:
+        if mode == "transient-m" and ber > 0:
+            executor.apply_weight_faults(
+                lambda name, tensor: TransientBitFlip(ber).inject(tensor, rng)
+            )
+        elif mode == "stuck-at-0" and ber > 0:
+            executor.apply_weight_faults(
+                lambda name, tensor: StuckAtFault(ber, 0).inject(tensor, rng)
+            )
+        elif mode == "stuck-at-1" and ber > 0:
+            executor.apply_weight_faults(
+                lambda name, tensor: StuckAtFault(ber, 1).inject(tensor, rng)
+            )
+
+        fault_step = int(rng.integers(max_steps)) if mode == "transient-1" else -1
+        state = env.reset()
+        for step in range(max_steps):
+            if step == fault_step and ber > 0:
+                if faulty_executor is None:
+                    faulty_executor = QuantizedExecutor(agent.network, qformat)
+                    faulty_executor.apply_weight_faults(
+                        lambda name, tensor: TransientBitFlip(ber).inject(tensor, rng)
+                    )
+                q = faulty_executor.forward(agent.state_encoder(state)[None])[0]
+            else:
+                q = executor.forward(agent.state_encoder(state)[None])[0]
+            action = int(np.argmax(q))
+            state, _, done, info = env.step(action)
+            if done:
+                return bool(info.get("success", False))
+        return False
+    finally:
+        executor.restore_clean_weights()
+        if faulty_executor is not None:
+            faulty_executor.restore_clean_weights()
+
+
+# --------------------------------------------------------------------------- #
+# Sweep driver
+# --------------------------------------------------------------------------- #
+def run_inference_fault_sweep(
+    config: GridConfig,
+    bit_error_rates: Sequence[float],
+    fault_modes: Sequence[str] = INFERENCE_FAULT_MODES,
+    seed: int = 0,
+    repetitions: Optional[int] = None,
+    episodes_per_trial: int = 5,
+) -> ResultTable:
+    """Success rate vs BER for each inference fault mode (Fig. 5a / 5b)."""
+    for mode in fault_modes:
+        if mode not in INFERENCE_FAULT_MODES:
+            raise ValueError(f"unknown fault mode {mode!r}; choose from {INFERENCE_FAULT_MODES}")
+    approach = "nn" if isinstance(config, GridNNConfig) else "tabular"
+    repetitions = repetitions or config.repetitions
+
+    rng = np.random.default_rng(seed)
+    if approach == "nn":
+        agent, eval_env, _ = train_grid_nn(config, rng)
+    else:
+        agent, eval_env, _ = train_tabular(config, rng)
+    baseline = greedy_rollout(greedy_policy(agent), eval_env, max_steps=config.max_steps)
+
+    table = ResultTable(title=f"Fig5 inference faults ({approach})")
+    table.add(
+        approach=approach,
+        fault_mode="baseline",
+        bit_error_rate=0.0,
+        success_rate=float(baseline.success),
+        repetitions=1,
+    )
+
+    for mode in fault_modes:
+        for ber in bit_error_rates:
+            def trial(rng: np.random.Generator, mode=mode, ber=ber) -> TrialOutcome:
+                successes = []
+                for _ in range(episodes_per_trial):
+                    if approach == "nn":
+                        ok = _nn_episode(
+                            agent, eval_env, mode, ber, rng, config.max_steps,
+                            config.weight_qformat,
+                        )
+                    else:
+                        ok = _tabular_episode(
+                            agent, eval_env, mode, ber, rng, config.max_steps
+                        )
+                    successes.append(ok)
+                return TrialOutcome(success=None, metric=float(np.mean(successes)))
+
+            campaign = Campaign(
+                f"fig5-{approach}-{mode}-ber{ber}", repetitions, seed=seed + 1
+            )
+            result = campaign.run(trial)
+            table.add(
+                approach=approach,
+                fault_mode=mode,
+                bit_error_rate=ber,
+                success_rate=result.mean_metric,
+                repetitions=repetitions,
+            )
+    return table

@@ -1,0 +1,352 @@
+"""Fig. 7 — fault characterization on the drone navigation task.
+
+Panel (a): faults during *online fine-tuning* of the pre-trained policy
+(transient bit-flips at different steps / BERs, plus stuck-at faults held
+throughout), measured as the fine-tuned policy's Mean Safe Flight distance.
+
+Panels (b)-(e): faults during *inference* of the trained policy —
+(b) the two environments, (c) fault location (input buffer / weight buffer /
+activations transient / activations permanent), (d) per-layer sensitivity
+(conv1..fc2), and (e) fixed-point data type (Q(1,4,11) / Q(1,7,8) / Q(1,10,5)).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.campaign import Campaign, TrialOutcome
+from repro.core.fault_models import FaultModel, StuckAtFault, TransientBitFlip
+from repro.core.injector import (
+    ActivationFaultInjector,
+    InputFaultInjector,
+    PermanentTrainingFaultHook,
+    TransientTrainingFaultHook,
+    inject_weight_faults,
+)
+from repro.core.sites import BufferSelector
+from repro.experiments.common import (
+    DronePolicyBundle,
+    build_drone_bundle,
+    evaluate_drone_msf,
+)
+from repro.experiments.config import DroneConfig
+from repro.io.results import ResultTable
+from repro.nn.buffers import QuantizedExecutor
+from repro.policies.c3f2 import C3F2_LAYER_NAMES
+from repro.quant.qformat import Q16_MID, Q16_NARROW, Q16_WIDE, QFormat
+from repro.rl import DecayingEpsilonGreedy, DoubleDQNAgent, train_agent
+
+__all__ = [
+    "executor_policy",
+    "run_drone_training_faults",
+    "run_environment_comparison",
+    "run_fault_location_sweep",
+    "run_layer_sweep",
+    "run_datatype_sweep",
+]
+
+
+def executor_policy(executor: QuantizedExecutor) -> Callable[[np.ndarray], int]:
+    """Greedy policy reading Q-values through the quantized executor."""
+    return lambda state: int(np.argmax(executor.forward(state[None])[0]))
+
+
+# --------------------------------------------------------------------------- #
+# Inference-side sweeps (Fig. 7b-e)
+# --------------------------------------------------------------------------- #
+def _msf_with_faults(
+    bundle: DronePolicyBundle,
+    env_name: str,
+    rng: np.random.Generator,
+    qformat: Optional[QFormat] = None,
+    weight_fault: Optional[FaultModel] = None,
+    weight_selector: Optional[BufferSelector] = None,
+    activation_injector: Optional[ActivationFaultInjector] = None,
+    input_injector: Optional[InputFaultInjector] = None,
+) -> float:
+    """MSF of the bundle's policy with the given fault configuration applied."""
+    config = bundle.config
+    executor = bundle.make_executor(qformat)
+    if weight_fault is not None and weight_fault.bit_error_rate > 0:
+        inject_weight_faults(executor, weight_fault, selector=weight_selector, rng=rng)
+    if activation_injector is not None:
+        executor.activation_hooks.append(activation_injector)
+    if input_injector is not None:
+        executor.input_hooks.append(input_injector)
+    try:
+        return evaluate_drone_msf(
+            executor_policy(executor),
+            bundle.env(env_name),
+            trials=config.eval_trials,
+            max_steps=config.max_eval_steps,
+        )
+    finally:
+        executor.restore_clean_weights()
+
+
+def run_environment_comparison(
+    config: DroneConfig,
+    bit_error_rates: Sequence[float],
+    environments: Sequence[str] = ("indoor-long", "indoor-vanleer"),
+    seed: int = 0,
+    repetitions: Optional[int] = None,
+) -> ResultTable:
+    """Fig. 7b — MSF vs BER for transient weight faults in each environment."""
+    repetitions = repetitions or config.repetitions
+    bundle = build_drone_bundle(config, seed=seed)
+    table = ResultTable(title="Fig7b drone inference: environment comparison")
+    for env_name in environments:
+        for ber in bit_error_rates:
+            def trial(rng: np.random.Generator, env_name=env_name, ber=ber) -> TrialOutcome:
+                msf = _msf_with_faults(
+                    bundle, env_name, rng, weight_fault=TransientBitFlip(ber)
+                )
+                return TrialOutcome(metric=msf)
+
+            result = Campaign(
+                f"fig7b-{env_name}-ber{ber}", repetitions, seed=seed + 1
+            ).run(trial)
+            table.add(
+                environment=env_name,
+                bit_error_rate=ber,
+                mean_safe_flight=result.mean_metric,
+                repetitions=repetitions,
+            )
+    return table
+
+
+def run_fault_location_sweep(
+    config: DroneConfig,
+    bit_error_rates: Sequence[float],
+    seed: int = 0,
+    repetitions: Optional[int] = None,
+) -> ResultTable:
+    """Fig. 7c — MSF vs BER per fault location (input / weight / act-T / act-P)."""
+    repetitions = repetitions or config.repetitions
+    bundle = build_drone_bundle(config, seed=seed)
+    table = ResultTable(title="Fig7c drone inference: fault location")
+    locations = ("input", "weight", "activation-transient", "activation-permanent")
+    for location in locations:
+        for ber in bit_error_rates:
+            def trial(rng: np.random.Generator, location=location, ber=ber) -> TrialOutcome:
+                weight_fault = None
+                activation = None
+                input_inj = None
+                if ber > 0:
+                    if location == "weight":
+                        weight_fault = TransientBitFlip(ber)
+                    elif location == "input":
+                        input_inj = InputFaultInjector(TransientBitFlip(ber), rng=rng)
+                    elif location == "activation-transient":
+                        activation = ActivationFaultInjector(
+                            TransientBitFlip(ber), mode="transient", rng=rng
+                        )
+                    else:
+                        activation = ActivationFaultInjector(
+                            StuckAtFault(ber, stuck_value=1), mode="permanent", rng=rng
+                        )
+                msf = _msf_with_faults(
+                    bundle,
+                    config.environment,
+                    rng,
+                    weight_fault=weight_fault,
+                    activation_injector=activation,
+                    input_injector=input_inj,
+                )
+                return TrialOutcome(metric=msf)
+
+            result = Campaign(
+                f"fig7c-{location}-ber{ber}", repetitions, seed=seed + 2
+            ).run(trial)
+            table.add(
+                location=location,
+                bit_error_rate=ber,
+                mean_safe_flight=result.mean_metric,
+                repetitions=repetitions,
+            )
+    return table
+
+
+def run_layer_sweep(
+    config: DroneConfig,
+    bit_error_rates: Sequence[float],
+    layers: Sequence[str] = C3F2_LAYER_NAMES,
+    seed: int = 0,
+    repetitions: Optional[int] = None,
+) -> ResultTable:
+    """Fig. 7d — MSF vs BER with transient weight faults confined to one layer."""
+    repetitions = repetitions or config.repetitions
+    bundle = build_drone_bundle(config, seed=seed)
+    table = ResultTable(title="Fig7d drone inference: per-layer sensitivity")
+    for layer in layers:
+        for ber in bit_error_rates:
+            def trial(rng: np.random.Generator, layer=layer, ber=ber) -> TrialOutcome:
+                msf = _msf_with_faults(
+                    bundle,
+                    config.environment,
+                    rng,
+                    weight_fault=TransientBitFlip(ber),
+                    weight_selector=BufferSelector.for_layer(layer),
+                )
+                return TrialOutcome(metric=msf)
+
+            result = Campaign(
+                f"fig7d-{layer}-ber{ber}", repetitions, seed=seed + 3
+            ).run(trial)
+            table.add(
+                layer=layer,
+                bit_error_rate=ber,
+                mean_safe_flight=result.mean_metric,
+                repetitions=repetitions,
+            )
+    return table
+
+
+def run_datatype_sweep(
+    config: DroneConfig,
+    bit_error_rates: Sequence[float],
+    qformats: Sequence[QFormat] = (Q16_NARROW, Q16_MID, Q16_WIDE),
+    seed: int = 0,
+    repetitions: Optional[int] = None,
+) -> ResultTable:
+    """Fig. 7e — MSF vs BER for each fixed-point weight data type."""
+    repetitions = repetitions or config.repetitions
+    bundle = build_drone_bundle(config, seed=seed)
+    table = ResultTable(title="Fig7e drone inference: data type")
+    for qformat in qformats:
+        for ber in bit_error_rates:
+            def trial(rng: np.random.Generator, qformat=qformat, ber=ber) -> TrialOutcome:
+                msf = _msf_with_faults(
+                    bundle,
+                    config.environment,
+                    rng,
+                    qformat=qformat,
+                    weight_fault=TransientBitFlip(ber),
+                )
+                return TrialOutcome(metric=msf)
+
+            result = Campaign(
+                f"fig7e-{qformat}-ber{ber}", repetitions, seed=seed + 4
+            ).run(trial)
+            table.add(
+                qformat=str(qformat),
+                bit_error_rate=ber,
+                mean_safe_flight=result.mean_metric,
+                repetitions=repetitions,
+            )
+    return table
+
+
+# --------------------------------------------------------------------------- #
+# Online fine-tuning faults (Fig. 7a)
+# --------------------------------------------------------------------------- #
+def _finetune_and_measure(
+    bundle: DronePolicyBundle,
+    rng: np.random.Generator,
+    hooks,
+) -> float:
+    """Fine-tune the last two layers online under fault hooks, then measure MSF."""
+    config = bundle.config
+    bundle.restore_clean()
+    env = bundle.env(config.environment)
+    agent = DoubleDQNAgent(
+        bundle.network,
+        state_encoder=lambda state: state,
+        n_actions=config.n_actions,
+        gamma=0.95,
+        learning_rate=1e-4,
+        schedule=DecayingEpsilonGreedy(0.3, 0.05, 0.9),
+        replay_capacity=500,
+        batch_size=8,
+        train_every=4,
+        target_update_every=100,
+        min_replay_size=16,
+        weight_qformat=config.qformat,
+        frozen_prefixes=["conv1", "conv2", "conv3"],
+        rng=rng,
+    )
+    train_agent(
+        agent,
+        env,
+        episodes=config.finetune_episodes,
+        max_steps_per_episode=config.finetune_max_steps,
+        hooks=hooks,
+    )
+    return evaluate_drone_msf(
+        lambda state: agent.select_action(state, explore=False),
+        env,
+        trials=config.eval_trials,
+        max_steps=config.max_eval_steps,
+    )
+
+
+def run_drone_training_faults(
+    config: DroneConfig,
+    bit_error_rates: Sequence[float],
+    injection_episodes: Optional[Sequence[int]] = None,
+    seed: int = 0,
+    repetitions: Optional[int] = None,
+) -> ResultTable:
+    """Fig. 7a — MSF after online fine-tuning with transient / stuck-at faults."""
+    repetitions = repetitions or config.repetitions
+    bundle = build_drone_bundle(config, seed=seed)
+    if injection_episodes is None:
+        injection_episodes = [0, max(0, config.finetune_episodes - 1)]
+    table = ResultTable(title="Fig7a drone online-training faults")
+
+    for ber in bit_error_rates:
+        for episode in injection_episodes:
+            def trial(rng: np.random.Generator, ber=ber, episode=episode) -> TrialOutcome:
+                hooks = []
+                if ber > 0:
+                    hooks.append(
+                        TransientTrainingFaultHook(
+                            ber,
+                            inject_episode=episode,
+                            selector=BufferSelector.all_weights(),
+                            rng=rng,
+                        )
+                    )
+                msf = _finetune_and_measure(bundle, rng, hooks)
+                return TrialOutcome(metric=msf)
+
+            result = Campaign(
+                f"fig7a-transient-ber{ber}-ep{episode}", repetitions, seed=seed + 5
+            ).run(trial)
+            table.add(
+                fault_type="transient",
+                bit_error_rate=ber,
+                injection_episode=episode,
+                mean_safe_flight=result.mean_metric,
+                repetitions=repetitions,
+            )
+
+    for stuck_value in (0, 1):
+        for ber in bit_error_rates:
+            def trial(rng: np.random.Generator, ber=ber, stuck=stuck_value) -> TrialOutcome:
+                hooks = []
+                if ber > 0:
+                    hooks.append(
+                        PermanentTrainingFaultHook(
+                            ber,
+                            stuck_value=stuck,
+                            selector=BufferSelector.all_weights(),
+                            rng=rng,
+                        )
+                    )
+                msf = _finetune_and_measure(bundle, rng, hooks)
+                return TrialOutcome(metric=msf)
+
+            result = Campaign(
+                f"fig7a-sa{stuck_value}-ber{ber}", repetitions, seed=seed + 6
+            ).run(trial)
+            table.add(
+                fault_type=f"stuck-at-{stuck_value}",
+                bit_error_rate=ber,
+                injection_episode=0,
+                mean_safe_flight=result.mean_metric,
+                repetitions=repetitions,
+            )
+    return table

@@ -1,0 +1,6 @@
+"""Result containers and renderers used by examples and benchmarks."""
+
+from repro.io.results import ResultRow, ResultTable, SeriesResult
+from repro.io.tables import render_table, render_heatmap
+
+__all__ = ["ResultRow", "ResultTable", "SeriesResult", "render_table", "render_heatmap"]

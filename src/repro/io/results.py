@@ -1,0 +1,123 @@
+"""Lightweight result containers for experiment outputs.
+
+Experiments report their outputs as rows (one dict per configuration) or as
+named series (x values plus one or more y series).  Both can be rendered to
+ASCII tables, serialized to JSON, or written as CSV, so benchmark runs leave
+a machine-readable record next to the printed summary.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+__all__ = ["ResultRow", "ResultTable", "SeriesResult"]
+
+#: A single experiment result row: column name -> value.
+ResultRow = Dict[str, Any]
+
+
+@dataclass
+class ResultTable:
+    """An ordered collection of result rows with a shared schema."""
+
+    title: str
+    rows: List[ResultRow] = field(default_factory=list)
+
+    def add(self, **values: Any) -> ResultRow:
+        """Append a row (keyword arguments become columns)."""
+        self.rows.append(dict(values))
+        return self.rows[-1]
+
+    @property
+    def columns(self) -> List[str]:
+        """Union of column names in insertion order."""
+        seen: Dict[str, None] = {}
+        for row in self.rows:
+            for key in row:
+                seen.setdefault(key, None)
+        return list(seen)
+
+    def column(self, name: str) -> List[Any]:
+        """All values of one column (missing cells become None)."""
+        return [row.get(name) for row in self.rows]
+
+    def filter(self, **criteria: Any) -> "ResultTable":
+        """Rows matching all ``column=value`` criteria, as a new table."""
+        matched = [
+            row
+            for row in self.rows
+            if all(row.get(key) == value for key, value in criteria.items())
+        ]
+        return ResultTable(title=self.title, rows=matched)
+
+    def to_json(self, path: Optional[Path] = None) -> str:
+        """Serialize to JSON; optionally also write to ``path``."""
+        payload = json.dumps({"title": self.title, "rows": self.rows}, indent=2, default=float)
+        if path is not None:
+            Path(path).write_text(payload)
+        return payload
+
+    def to_csv(self, path: Path) -> None:
+        """Write the rows as CSV with a header."""
+        columns = self.columns
+        with open(path, "w", newline="") as handle:
+            writer = csv.DictWriter(handle, fieldnames=columns)
+            writer.writeheader()
+            for row in self.rows:
+                writer.writerow(row)
+
+    @classmethod
+    def from_json(cls, payload: str) -> "ResultTable":
+        data = json.loads(payload)
+        return cls(title=data["title"], rows=list(data["rows"]))
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+@dataclass
+class SeriesResult:
+    """A named family of y-series over a shared x axis (one paper figure panel)."""
+
+    title: str
+    x_label: str
+    x_values: List[Any] = field(default_factory=list)
+    series: Dict[str, List[float]] = field(default_factory=dict)
+
+    def add_series(self, name: str, values: Sequence[float]) -> None:
+        values = list(values)
+        if self.x_values and len(values) != len(self.x_values):
+            raise ValueError(
+                f"series {name!r} has {len(values)} points but the x axis has "
+                f"{len(self.x_values)}"
+            )
+        self.series[name] = values
+
+    def as_table(self) -> ResultTable:
+        """Flatten to a row-per-x table with one column per series."""
+        table = ResultTable(title=self.title)
+        for index, x in enumerate(self.x_values):
+            row: ResultRow = {self.x_label: x}
+            for name, values in self.series.items():
+                row[name] = values[index]
+            table.add(**row)
+        return table
+
+    def to_json(self, path: Optional[Path] = None) -> str:
+        payload = json.dumps(
+            {
+                "title": self.title,
+                "x_label": self.x_label,
+                "x_values": self.x_values,
+                "series": self.series,
+            },
+            indent=2,
+            default=float,
+        )
+        if path is not None:
+            Path(path).write_text(payload)
+        return payload

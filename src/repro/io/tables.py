@@ -1,0 +1,92 @@
+"""ASCII rendering of result tables and heatmaps.
+
+Benchmarks print these so a run regenerates the same rows/series the paper's
+figures report, in a form that is easy to eyeball in a terminal or diff in CI.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+import numpy as np
+
+from repro.io.results import ResultTable
+
+__all__ = ["render_table", "render_heatmap"]
+
+
+def _format_cell(value: Any, precision: int) -> str:
+    if isinstance(value, float):
+        if value != 0.0 and abs(value) < 10 ** (-precision):
+            # Small rates (e.g. bit error rates of 1e-5) would round to zero
+            # at fixed precision; print them in scientific notation instead.
+            return f"{value:.{max(precision - 1, 1)}e}"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def render_table(table: ResultTable, precision: int = 3) -> str:
+    """Render a ResultTable as a fixed-width ASCII table."""
+    columns = table.columns
+    if not columns:
+        return f"{table.title}\n(empty)"
+    formatted = [
+        [_format_cell(row.get(col, ""), precision) for col in columns] for row in table.rows
+    ]
+    widths = [
+        max(len(col), *(len(line[i]) for line in formatted)) if formatted else len(col)
+        for i, col in enumerate(columns)
+    ]
+    header = " | ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    separator = "-+-".join("-" * w for w in widths)
+    body = [
+        " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(line)) for line in formatted
+    ]
+    return "\n".join([table.title, header, separator, *body])
+
+
+def render_heatmap(
+    values: np.ndarray,
+    row_labels: Sequence[Any],
+    col_labels: Sequence[Any],
+    title: str = "",
+    precision: int = 0,
+    corner: str = "",
+) -> str:
+    """Render a 2-D array as a labelled ASCII grid (paper-style heatmap).
+
+    Rows are printed top-to-bottom in the given order; the paper's heatmaps
+    put the highest bit-error rate on the top row, so callers should order
+    ``row_labels``/``values`` accordingly.
+    """
+    values = np.asarray(values)
+    if values.ndim != 2:
+        raise ValueError(f"heatmap values must be 2-D, got shape {values.shape}")
+    if values.shape != (len(row_labels), len(col_labels)):
+        raise ValueError(
+            f"values shape {values.shape} does not match labels "
+            f"({len(row_labels)}, {len(col_labels)})"
+        )
+    cells = [[f"{float(v):.{precision}f}" for v in row] for row in values]
+    row_names = [str(label) for label in row_labels]
+    col_names = [str(label) for label in col_labels]
+    label_width = max(len(corner), *(len(name) for name in row_names))
+    col_widths = [
+        max(len(col_names[j]), *(len(cells[i][j]) for i in range(len(row_names))))
+        for j in range(len(col_names))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = corner.ljust(label_width) + " | " + " ".join(
+        col_names[j].rjust(col_widths[j]) for j in range(len(col_names))
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for i, name in enumerate(row_names):
+        lines.append(
+            name.ljust(label_width)
+            + " | "
+            + " ".join(cells[i][j].rjust(col_widths[j]) for j in range(len(col_names)))
+        )
+    return "\n".join(lines)

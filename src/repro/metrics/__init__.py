@@ -1,0 +1,25 @@
+"""Task-level metrics and statistics used across the experiments."""
+
+from repro.metrics.navigation import (
+    success_rate,
+    mean_safe_flight,
+    quality_of_flight_improvement,
+    episodes_to_converge,
+    cumulative_reward,
+)
+from repro.metrics.statistics import (
+    wilson_confidence_interval,
+    mean_confidence_interval,
+    required_trials,
+)
+
+__all__ = [
+    "success_rate",
+    "mean_safe_flight",
+    "quality_of_flight_improvement",
+    "episodes_to_converge",
+    "cumulative_reward",
+    "wilson_confidence_interval",
+    "mean_confidence_interval",
+    "required_trials",
+]

@@ -1,0 +1,74 @@
+"""Navigation quality metrics.
+
+The paper quantifies policy performance with the agent's *success rate* and
+*cumulative reward* for Grid World (Sec. 4.1) and *Mean Safe Flight* (MSF)
+distance for the drone task (Sec. 4.2).  Convergence is defined as reaching a
+success-rate threshold (>95% in Fig. 4).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "success_rate",
+    "cumulative_reward",
+    "mean_safe_flight",
+    "quality_of_flight_improvement",
+    "episodes_to_converge",
+]
+
+
+def success_rate(outcomes: Iterable[bool]) -> float:
+    """Fraction of successful trials (goal reached / total trials)."""
+    outcomes = np.asarray(list(outcomes), dtype=bool)
+    if outcomes.size == 0:
+        raise ValueError("success_rate needs at least one trial outcome")
+    return float(outcomes.mean())
+
+
+def cumulative_reward(rewards: Sequence[float]) -> float:
+    """Sum of rewards in an episode."""
+    rewards = np.asarray(rewards, dtype=np.float64)
+    return float(rewards.sum())
+
+
+def mean_safe_flight(flight_distances: Iterable[float]) -> float:
+    """Average distance travelled before collision (MSF, metres)."""
+    distances = np.asarray(list(flight_distances), dtype=np.float64)
+    if distances.size == 0:
+        raise ValueError("mean_safe_flight needs at least one flight")
+    if np.any(distances < 0):
+        raise ValueError("flight distances must be non-negative")
+    return float(distances.mean())
+
+
+def quality_of_flight_improvement(baseline: float, improved: float) -> float:
+    """Relative quality-of-flight improvement, e.g. 0.39 for the paper's +39%."""
+    if baseline <= 0:
+        raise ValueError(f"baseline must be positive, got {baseline}")
+    return (improved - baseline) / baseline
+
+
+def episodes_to_converge(
+    successes: Sequence[bool],
+    threshold: float = 0.95,
+    window: int = 50,
+    start: int = 0,
+) -> Optional[int]:
+    """First episode (>= ``start``) at which the windowed success rate exceeds ``threshold``.
+
+    Returns None if the run never converges.  Matches Fig. 4's "episodes taken
+    to converge (>95% success rate)" measurement.
+    """
+    if not 0.0 < threshold <= 1.0:
+        raise ValueError(f"threshold must be in (0, 1], got {threshold}")
+    if window <= 0:
+        raise ValueError(f"window must be positive, got {window}")
+    flags = np.asarray(successes, dtype=np.float64)
+    for end in range(max(start, window), len(flags) + 1):
+        if flags[end - window : end].mean() >= threshold:
+            return end
+    return None

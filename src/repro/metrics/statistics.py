@@ -1,0 +1,65 @@
+"""Statistical helpers for fault-injection campaigns.
+
+The paper repeats each Grid World fault-injection campaign 1000 times, which
+gives a 95% confidence level within a 1% error margin (Sec. 4.1).  The
+helpers here compute those confidence intervals and the number of trials
+needed for a target margin, so campaigns can report how trustworthy their
+estimates are at any repetition count.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["wilson_confidence_interval", "mean_confidence_interval", "required_trials"]
+
+#: Two-sided z value for 95% confidence.
+_Z95 = 1.959963984540054
+
+
+def wilson_confidence_interval(
+    successes: int, trials: int, z: float = _Z95
+) -> Tuple[float, float]:
+    """Wilson score interval for a binomial proportion."""
+    if trials <= 0:
+        raise ValueError(f"trials must be positive, got {trials}")
+    if not 0 <= successes <= trials:
+        raise ValueError(f"successes must be in [0, {trials}], got {successes}")
+    proportion = successes / trials
+    denom = 1.0 + z * z / trials
+    centre = (proportion + z * z / (2 * trials)) / denom
+    half_width = (
+        z * math.sqrt(proportion * (1 - proportion) / trials + z * z / (4 * trials * trials))
+    ) / denom
+    return max(0.0, centre - half_width), min(1.0, centre + half_width)
+
+
+def mean_confidence_interval(
+    values: Sequence[float], z: float = _Z95
+) -> Tuple[float, float]:
+    """Normal-approximation confidence interval for a sample mean."""
+    values = np.asarray(values, dtype=np.float64)
+    if values.size == 0:
+        raise ValueError("mean_confidence_interval needs at least one value")
+    mean = float(values.mean())
+    if values.size == 1:
+        return mean, mean
+    sem = float(values.std(ddof=1) / math.sqrt(values.size))
+    return mean - z * sem, mean + z * sem
+
+
+def required_trials(margin: float, proportion: float = 0.5, z: float = _Z95) -> int:
+    """Trials needed so a proportion estimate has the given error margin.
+
+    ``required_trials(0.01)`` is about 9604 in the worst case (p = 0.5); for
+    proportions near the success rates the paper reports (>0.9) the 1000
+    repetitions quoted in Sec. 4.1 indeed achieve a ~1% margin.
+    """
+    if not 0.0 < margin < 1.0:
+        raise ValueError(f"margin must be in (0, 1), got {margin}")
+    if not 0.0 <= proportion <= 1.0:
+        raise ValueError(f"proportion must be in [0, 1], got {proportion}")
+    return int(math.ceil(z * z * proportion * (1.0 - proportion) / (margin * margin)))

@@ -1,0 +1,48 @@
+"""Pure-numpy neural-network substrate.
+
+The paper's NN-based policies (a small MLP Q-network for Grid World and the
+C3F2 convolutional policy for drone navigation) run on an edge accelerator
+with explicit input / filter (weight) / output (activation) buffers.  This
+package implements:
+
+* the layers and training machinery needed to learn those policies
+  (:mod:`repro.nn.layers`, :mod:`repro.nn.network`, :mod:`repro.nn.optim`,
+  :mod:`repro.nn.losses`), and
+* an explicit accelerator buffer model (:mod:`repro.nn.buffers`) in which
+  every tensor that the fault model targets lives in a named, quantized
+  buffer that the fault injector can mutate at the bit level.
+"""
+
+from repro.nn.layers import (
+    Layer,
+    Dense,
+    Conv2D,
+    MaxPool2D,
+    ReLU,
+    Flatten,
+)
+from repro.nn.network import Sequential
+from repro.nn.optim import SGD, Adam
+from repro.nn.losses import mse_loss, huber_loss
+from repro.nn.initializers import he_uniform, glorot_uniform, zeros_init
+from repro.nn.buffers import BufferSet, QuantizedExecutor, LayerRangeProfile
+
+__all__ = [
+    "Layer",
+    "Dense",
+    "Conv2D",
+    "MaxPool2D",
+    "ReLU",
+    "Flatten",
+    "Sequential",
+    "SGD",
+    "Adam",
+    "mse_loss",
+    "huber_loss",
+    "he_uniform",
+    "glorot_uniform",
+    "zeros_init",
+    "BufferSet",
+    "QuantizedExecutor",
+    "LayerRangeProfile",
+]

@@ -1,0 +1,281 @@
+"""Accelerator buffer model and quantized execution.
+
+The paper's fault model targets the on-chip memories of an edge NN
+accelerator: the *input buffer* (feature maps), the *filter buffer* (weights)
+and the *output buffer* (activations).  Faults in MAC datapaths are assumed to
+manifest as corrupted values in the output buffer (Sec. 3.2).
+
+:class:`BufferSet` materializes those memories as named
+:class:`~repro.quant.qtensor.QTensor` instances, and
+:class:`QuantizedExecutor` runs a :class:`~repro.nn.network.Sequential`
+network *through* them: inputs, weights and every layer's activations are
+quantized into their buffers where fault injectors and the anomaly detector
+can observe and mutate them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.nn.layers import Layer
+from repro.nn.network import Sequential
+from repro.quant.qformat import QFormat
+from repro.quant.qtensor import QTensor
+
+__all__ = [
+    "BufferSet",
+    "QuantizedExecutor",
+    "LayerRangeProfile",
+    "INPUT_BUFFER",
+    "weight_buffer_name",
+    "activation_buffer_name",
+]
+
+#: Canonical name of the input (feature-map) buffer.
+INPUT_BUFFER = "input"
+
+
+def weight_buffer_name(param_name: str) -> str:
+    """Buffer name for a network parameter (e.g. ``"weight:conv1.weight"``)."""
+    return f"weight:{param_name}"
+
+
+def activation_buffer_name(layer_name: str) -> str:
+    """Buffer name for a layer's output activations."""
+    return f"activation:{layer_name}"
+
+
+class BufferSet:
+    """The set of named quantized memories backing a network's execution.
+
+    Weight buffers are persistent (created from the network's trained
+    parameters); the input and activation buffers are transient and rewritten
+    on every forward pass, mirroring how the accelerator reuses its SRAM.
+    """
+
+    def __init__(self, network: Sequential, qformat: QFormat) -> None:
+        self.network = network
+        self.qformat = qformat
+        self.buffers: Dict[str, QTensor] = {}
+        self.refresh_weights_from_network()
+
+    # ------------------------------------------------------------------ #
+    # Weight buffers
+    # ------------------------------------------------------------------ #
+    def refresh_weights_from_network(self) -> None:
+        """Re-quantize all network parameters into their weight buffers."""
+        for name, param in self.network.named_params().items():
+            buffer_name = weight_buffer_name(name)
+            self.buffers[buffer_name] = QTensor(param, self.qformat, name=buffer_name)
+
+    def sync_weights_to_network(self) -> None:
+        """Decode weight buffers back into the network parameters.
+
+        Any faults injected into the weight buffers become visible to the
+        float execution path after this call.
+        """
+        params = self.network.named_params()
+        for name, param in params.items():
+            buffer = self.buffers.get(weight_buffer_name(name))
+            if buffer is not None:
+                param[...] = buffer.values
+
+    def weight_buffers(self) -> Dict[str, QTensor]:
+        """All weight buffers keyed by buffer name."""
+        return {
+            name: tensor
+            for name, tensor in self.buffers.items()
+            if name.startswith("weight:")
+        }
+
+    def weight_buffers_for_layer(self, layer_name: str) -> Dict[str, QTensor]:
+        """Weight buffers whose parameter belongs to ``layer_name``."""
+        prefix = f"weight:{layer_name}."
+        return {
+            name: tensor
+            for name, tensor in self.buffers.items()
+            if name.startswith(prefix)
+        }
+
+    # ------------------------------------------------------------------ #
+    # Transient buffers
+    # ------------------------------------------------------------------ #
+    def write_input(self, values: np.ndarray) -> QTensor:
+        """Quantize input feature maps into the input buffer."""
+        tensor = QTensor(values, self.qformat, name=INPUT_BUFFER)
+        self.buffers[INPUT_BUFFER] = tensor
+        return tensor
+
+    def write_activation(self, layer_name: str, values: np.ndarray) -> QTensor:
+        """Quantize a layer's output into its activation buffer."""
+        name = activation_buffer_name(layer_name)
+        tensor = QTensor(values, self.qformat, name=name)
+        self.buffers[name] = tensor
+        return tensor
+
+    def get(self, name: str) -> QTensor:
+        if name not in self.buffers:
+            raise KeyError(f"no buffer named {name!r}; known: {sorted(self.buffers)}")
+        return self.buffers[name]
+
+    def names(self) -> List[str]:
+        return sorted(self.buffers)
+
+    def total_bits(self) -> int:
+        """Total number of memory bits across all current buffers."""
+        return sum(t.size * t.qformat.total_bits for t in self.buffers.values())
+
+
+@dataclass
+class LayerRangeProfile:
+    """Per-layer value ranges instrumented on the fault-free trained policy.
+
+    Used by the range-based anomaly detector (Sec. 5.2): after training, the
+    minimum/maximum of every layer's weights and activations are recorded;
+    during inference a configurable margin (10% in the paper) is applied and
+    any value outside the widened bound is declared anomalous.
+    """
+
+    weight_ranges: Dict[str, Tuple[float, float]] = field(default_factory=dict)
+    activation_ranges: Dict[str, Tuple[float, float]] = field(default_factory=dict)
+
+    def record_weight(self, layer_name: str, values: np.ndarray) -> None:
+        self.weight_ranges[layer_name] = _merge_range(
+            self.weight_ranges.get(layer_name), values
+        )
+
+    def record_activation(self, layer_name: str, values: np.ndarray) -> None:
+        self.activation_ranges[layer_name] = _merge_range(
+            self.activation_ranges.get(layer_name), values
+        )
+
+    def weight_bound(self, layer_name: str, margin: float = 0.1) -> Tuple[float, float]:
+        """Widened (low, high) bound for a layer's weights."""
+        return _widen(self.weight_ranges[layer_name], margin)
+
+    def activation_bound(
+        self, layer_name: str, margin: float = 0.1
+    ) -> Tuple[float, float]:
+        """Widened (low, high) bound for a layer's activations."""
+        return _widen(self.activation_ranges[layer_name], margin)
+
+    def layers(self) -> List[str]:
+        return sorted(set(self.weight_ranges) | set(self.activation_ranges))
+
+
+def _merge_range(
+    existing: Optional[Tuple[float, float]], values: np.ndarray
+) -> Tuple[float, float]:
+    lo = float(np.min(values))
+    hi = float(np.max(values))
+    if existing is not None:
+        lo = min(lo, existing[0])
+        hi = max(hi, existing[1])
+    return lo, hi
+
+
+def _widen(bound: Tuple[float, float], margin: float) -> Tuple[float, float]:
+    lo, hi = bound
+    span = margin * max(abs(lo), abs(hi))
+    return lo - span, hi + span
+
+
+#: Hook signature used by the executor: called with the buffer holding a
+#: freshly written tensor plus the owning layer (None for the input buffer);
+#: the hook may mutate the QTensor in place.
+BufferHook = Callable[[QTensor, Optional[Layer]], None]
+
+
+class QuantizedExecutor:
+    """Run a network through quantized accelerator buffers.
+
+    Parameters
+    ----------
+    network:
+        The trained policy network.
+    qformat:
+        Fixed-point format of every buffer.
+    input_hooks / activation_hooks:
+        Callables applied after the input / each layer's activations are
+        written to their buffer — this is where dynamic (input-dependent)
+        transient faults and the anomaly detector plug in.
+    """
+
+    def __init__(
+        self,
+        network: Sequential,
+        qformat: QFormat,
+        input_hooks: Optional[List[BufferHook]] = None,
+        activation_hooks: Optional[List[BufferHook]] = None,
+    ) -> None:
+        self.network = network
+        self.qformat = qformat
+        self.buffer_set = BufferSet(network, qformat)
+        self.input_hooks: List[BufferHook] = list(input_hooks or [])
+        self.activation_hooks: List[BufferHook] = list(activation_hooks or [])
+        self._clean_state = network.state_dict()
+
+    # ------------------------------------------------------------------ #
+    # Weight-side fault plumbing
+    # ------------------------------------------------------------------ #
+    def restore_clean_weights(self) -> None:
+        """Undo any weight-buffer faults by restoring the trained parameters."""
+        self.network.load_state_dict(self._clean_state)
+        self.buffer_set.refresh_weights_from_network()
+
+    def apply_weight_faults(self, mutator: Callable[[str, QTensor], None]) -> None:
+        """Apply a mutator to every weight buffer, then sync to the network.
+
+        ``mutator(param_name, qtensor)`` receives the *network* parameter name
+        (e.g. ``"fc2.weight"``) and the buffer tensor to corrupt in place.
+        """
+        for buffer_name, tensor in self.buffer_set.weight_buffers().items():
+            param_name = buffer_name.split(":", 1)[1]
+            mutator(param_name, tensor)
+        self.buffer_set.sync_weights_to_network()
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Quantized forward pass through input and activation buffers."""
+        input_tensor = self.buffer_set.write_input(x)
+        for hook in self.input_hooks:
+            hook(input_tensor, None)
+        out = input_tensor.values
+        for layer in self.network.layers:
+            out = layer.forward(out, training=False)
+            activation = self.buffer_set.write_activation(layer.name, out)
+            for hook in self.activation_hooks:
+                hook(activation, layer)
+            out = activation.values
+        return out
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+    # ------------------------------------------------------------------ #
+    # Range profiling (for the anomaly detector)
+    # ------------------------------------------------------------------ #
+    def profile_ranges(self, calibration_inputs: np.ndarray) -> LayerRangeProfile:
+        """Instrument per-layer weight and activation ranges on clean inputs.
+
+        ``calibration_inputs`` is a batch of representative states; the
+        profile records the min/max of each layer's quantized weights and of
+        the activations it produces on the calibration batch.
+        """
+        profile = LayerRangeProfile()
+        for buffer_name, tensor in self.buffer_set.weight_buffers().items():
+            param_name = buffer_name.split(":", 1)[1]
+            layer_name = param_name.split(".", 1)[0]
+            profile.record_weight(layer_name, tensor.values)
+        out = QTensor(calibration_inputs, self.qformat).values
+        for layer in self.network.layers:
+            out = layer.forward(out, training=False)
+            quantized = self.qformat.quantize(out)
+            profile.record_activation(layer.name, quantized)
+            out = quantized
+        return profile

@@ -1,0 +1,43 @@
+"""Weight initializers for the numpy NN substrate."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["he_uniform", "glorot_uniform", "zeros_init", "fan_in_out"]
+
+
+def fan_in_out(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    """Compute (fan_in, fan_out) for a weight tensor shape.
+
+    Dense weights are ``(in, out)``; conv kernels are
+    ``(out_channels, in_channels, kh, kw)``.
+    """
+    if len(shape) == 2:
+        return shape[0], shape[1]
+    if len(shape) == 4:
+        receptive = shape[2] * shape[3]
+        return shape[1] * receptive, shape[0] * receptive
+    size = int(np.prod(shape))
+    return size, size
+
+
+def he_uniform(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """He (Kaiming) uniform initialization, appropriate before ReLU layers."""
+    fan_in, _ = fan_in_out(shape)
+    limit = np.sqrt(6.0 / max(fan_in, 1))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def glorot_uniform(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """Glorot (Xavier) uniform initialization for linear output layers."""
+    fan_in, fan_out = fan_in_out(shape)
+    limit = np.sqrt(6.0 / max(fan_in + fan_out, 1))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def zeros_init(shape: Tuple[int, ...], rng: np.random.Generator = None) -> np.ndarray:
+    """All-zeros initialization (used for biases)."""
+    return np.zeros(shape, dtype=np.float64)

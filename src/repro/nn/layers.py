@@ -1,0 +1,366 @@
+"""Layers for the numpy NN substrate.
+
+Every layer implements ``forward`` / ``backward`` and exposes its trainable
+parameters through ``params()`` / ``grads()`` dictionaries so optimizers and
+the accelerator buffer model can address them by name.
+
+Tensor layout conventions
+-------------------------
+* Dense inputs: ``(batch, features)``.
+* Convolutional inputs: ``(batch, channels, height, width)``.
+* Conv kernels: ``(out_channels, in_channels, kernel_h, kernel_w)``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.nn.initializers import glorot_uniform, he_uniform, zeros_init
+
+__all__ = ["Layer", "Dense", "Conv2D", "MaxPool2D", "ReLU", "Flatten"]
+
+
+class Layer:
+    """Base class for all layers."""
+
+    #: Human-readable layer kind, used by experiments to group layers
+    #: ("conv", "dense", "pool", "activation", "reshape").
+    kind: str = "layer"
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name or self.__class__.__name__.lower()
+
+    # -- interface ------------------------------------------------------ #
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def params(self) -> Dict[str, np.ndarray]:
+        """Trainable parameter arrays keyed by local name."""
+        return {}
+
+    def grads(self) -> Dict[str, np.ndarray]:
+        """Gradients matching :meth:`params` keys (after backward)."""
+        return {}
+
+    def set_params(self, new_params: Dict[str, np.ndarray]) -> None:
+        """Overwrite parameters in place (used to load faulted weights)."""
+        current = self.params()
+        for key, value in new_params.items():
+            if key not in current:
+                raise KeyError(f"layer {self.name!r} has no parameter {key!r}")
+            current[key][...] = value
+
+    @property
+    def trainable(self) -> bool:
+        return bool(self.params())
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        """Shape of the output given an input shape (without batch dim)."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self.__class__.__name__}(name={self.name!r})"
+
+
+class Dense(Layer):
+    """Fully connected layer ``y = x @ W + b``."""
+
+    kind = "dense"
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        name: str = "",
+        rng: Optional[np.random.Generator] = None,
+        initializer: Callable = glorot_uniform,
+    ) -> None:
+        super().__init__(name=name)
+        rng = rng or np.random.default_rng()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = initializer((in_features, out_features), rng)
+        self.bias = zeros_init((out_features,))
+        self.grad_weight = np.zeros_like(self.weight)
+        self.grad_bias = np.zeros_like(self.bias)
+        self._last_input: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if training:
+            self._last_input = x
+        return x @ self.weight + self.bias
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._last_input is None:
+            raise RuntimeError("backward called before a training forward pass")
+        x = self._last_input
+        self.grad_weight = x.T @ grad_out
+        self.grad_bias = grad_out.sum(axis=0)
+        return grad_out @ self.weight.T
+
+    def params(self) -> Dict[str, np.ndarray]:
+        return {"weight": self.weight, "bias": self.bias}
+
+    def grads(self) -> Dict[str, np.ndarray]:
+        return {"weight": self.grad_weight, "bias": self.grad_bias}
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        return (self.out_features,)
+
+
+def _im2col(
+    x: np.ndarray, kernel_h: int, kernel_w: int, stride: int, padding: int
+) -> Tuple[np.ndarray, int, int]:
+    """Unfold image patches into columns for convolution-as-matmul.
+
+    Returns ``(cols, out_h, out_w)`` where ``cols`` has shape
+    ``(batch, out_h, out_w, channels * kernel_h * kernel_w)``.
+    """
+    batch, channels, height, width = x.shape
+    if padding:
+        x = np.pad(
+            x,
+            ((0, 0), (0, 0), (padding, padding), (padding, padding)),
+            mode="constant",
+        )
+    padded_h, padded_w = x.shape[2], x.shape[3]
+    out_h = (padded_h - kernel_h) // stride + 1
+    out_w = (padded_w - kernel_w) // stride + 1
+    if out_h <= 0 or out_w <= 0:
+        raise ValueError(
+            f"kernel {kernel_h}x{kernel_w} with stride {stride} does not fit "
+            f"input of spatial size {height}x{width} (padding {padding})"
+        )
+    strides = x.strides
+    windows = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(batch, channels, out_h, out_w, kernel_h, kernel_w),
+        strides=(
+            strides[0],
+            strides[1],
+            strides[2] * stride,
+            strides[3] * stride,
+            strides[2],
+            strides[3],
+        ),
+        writeable=False,
+    )
+    cols = windows.transpose(0, 2, 3, 1, 4, 5).reshape(
+        batch, out_h, out_w, channels * kernel_h * kernel_w
+    )
+    return np.ascontiguousarray(cols), out_h, out_w
+
+
+class Conv2D(Layer):
+    """2-D convolution implemented with im2col + matmul."""
+
+    kind = "conv"
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        name: str = "",
+        rng: Optional[np.random.Generator] = None,
+        initializer: Callable = he_uniform,
+    ) -> None:
+        super().__init__(name=name)
+        rng = rng or np.random.default_rng()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        self.weight = initializer(
+            (out_channels, in_channels, kernel_size, kernel_size), rng
+        )
+        self.bias = zeros_init((out_channels,))
+        self.grad_weight = np.zeros_like(self.weight)
+        self.grad_bias = np.zeros_like(self.bias)
+        self._cache: Optional[Tuple[np.ndarray, Tuple[int, ...], int, int]] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        cols, out_h, out_w = _im2col(
+            x, self.kernel_size, self.kernel_size, self.stride, self.padding
+        )
+        w_flat = self.weight.reshape(self.out_channels, -1)
+        out = cols @ w_flat.T + self.bias
+        out = out.transpose(0, 3, 1, 2)
+        if training:
+            self._cache = (cols, x.shape, out_h, out_w)
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before a training forward pass")
+        cols, input_shape, out_h, out_w = self._cache
+        batch, _, height, width = input_shape
+        grad_flat = grad_out.transpose(0, 2, 3, 1)  # (b, oh, ow, oc)
+
+        w_flat = self.weight.reshape(self.out_channels, -1)
+        self.grad_weight = (
+            np.einsum("bijo,bijk->ok", grad_flat, cols).reshape(self.weight.shape)
+        )
+        self.grad_bias = grad_flat.sum(axis=(0, 1, 2))
+
+        grad_cols = grad_flat @ w_flat  # (b, oh, ow, c*kh*kw)
+        grad_input = np.zeros(
+            (
+                batch,
+                self.in_channels,
+                height + 2 * self.padding,
+                width + 2 * self.padding,
+            ),
+            dtype=np.float64,
+        )
+        grad_cols = grad_cols.reshape(
+            batch, out_h, out_w, self.in_channels, self.kernel_size, self.kernel_size
+        )
+        for i in range(out_h):
+            hi = i * self.stride
+            for j in range(out_w):
+                wj = j * self.stride
+                grad_input[
+                    :, :, hi : hi + self.kernel_size, wj : wj + self.kernel_size
+                ] += grad_cols[:, i, j]
+        if self.padding:
+            grad_input = grad_input[
+                :, :, self.padding : -self.padding, self.padding : -self.padding
+            ]
+        return grad_input
+
+    def params(self) -> Dict[str, np.ndarray]:
+        return {"weight": self.weight, "bias": self.bias}
+
+    def grads(self) -> Dict[str, np.ndarray]:
+        return {"weight": self.grad_weight, "bias": self.grad_bias}
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        channels, height, width = input_shape
+        out_h = (height + 2 * self.padding - self.kernel_size) // self.stride + 1
+        out_w = (width + 2 * self.padding - self.kernel_size) // self.stride + 1
+        return (self.out_channels, out_h, out_w)
+
+
+class MaxPool2D(Layer):
+    """Max pooling over non-overlapping (or strided) windows."""
+
+    kind = "pool"
+
+    def __init__(self, pool_size: int = 2, stride: Optional[int] = None, name: str = "") -> None:
+        super().__init__(name=name)
+        self.pool_size = pool_size
+        self.stride = stride if stride is not None else pool_size
+        self._cache: Optional[Tuple[np.ndarray, Tuple[int, ...]]] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        batch, channels, height, width = x.shape
+        out_h = (height - self.pool_size) // self.stride + 1
+        out_w = (width - self.pool_size) // self.stride + 1
+        strides = x.strides
+        windows = np.lib.stride_tricks.as_strided(
+            x,
+            shape=(batch, channels, out_h, out_w, self.pool_size, self.pool_size),
+            strides=(
+                strides[0],
+                strides[1],
+                strides[2] * self.stride,
+                strides[3] * self.stride,
+                strides[2],
+                strides[3],
+            ),
+            writeable=False,
+        )
+        out = windows.max(axis=(4, 5))
+        if training:
+            self._cache = (x, out.shape)
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before a training forward pass")
+        x, out_shape = self._cache
+        grad_input = np.zeros_like(x)
+        batch, channels, out_h, out_w = out_shape
+        for i in range(out_h):
+            hi = i * self.stride
+            for j in range(out_w):
+                wj = j * self.stride
+                window = x[:, :, hi : hi + self.pool_size, wj : wj + self.pool_size]
+                flat = window.reshape(batch, channels, -1)
+                arg = flat.argmax(axis=2)
+                mask = np.zeros_like(flat)
+                b_idx, c_idx = np.meshgrid(
+                    np.arange(batch), np.arange(channels), indexing="ij"
+                )
+                mask[b_idx, c_idx, arg] = 1.0
+                mask = mask.reshape(window.shape)
+                grad_input[
+                    :, :, hi : hi + self.pool_size, wj : wj + self.pool_size
+                ] += mask * grad_out[:, :, i, j][:, :, None, None]
+        return grad_input
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        channels, height, width = input_shape
+        out_h = (height - self.pool_size) // self.stride + 1
+        out_w = (width - self.pool_size) // self.stride + 1
+        return (channels, out_h, out_w)
+
+
+class ReLU(Layer):
+    """Rectified linear activation."""
+
+    kind = "activation"
+
+    def __init__(self, name: str = "") -> None:
+        super().__init__(name=name)
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if training:
+            self._mask = x > 0
+        return np.maximum(x, 0.0)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before a training forward pass")
+        return grad_out * self._mask
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        return input_shape
+
+
+class Flatten(Layer):
+    """Flatten all non-batch dimensions."""
+
+    kind = "reshape"
+
+    def __init__(self, name: str = "") -> None:
+        super().__init__(name=name)
+        self._input_shape: Optional[Tuple[int, ...]] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if training:
+            self._input_shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._input_shape is None:
+            raise RuntimeError("backward called before a training forward pass")
+        return grad_out.reshape(self._input_shape)
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        return (int(np.prod(input_shape)),)

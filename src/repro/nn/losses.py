@@ -1,0 +1,44 @@
+"""Loss functions for Q-learning regression targets."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["mse_loss", "huber_loss"]
+
+
+def mse_loss(predictions: np.ndarray, targets: np.ndarray) -> Tuple[float, np.ndarray]:
+    """Mean squared error and its gradient w.r.t. predictions."""
+    predictions = np.asarray(predictions, dtype=np.float64)
+    targets = np.asarray(targets, dtype=np.float64)
+    if predictions.shape != targets.shape:
+        raise ValueError(
+            f"shape mismatch: predictions {predictions.shape} vs targets {targets.shape}"
+        )
+    diff = predictions - targets
+    loss = float(np.mean(diff**2))
+    grad = 2.0 * diff / diff.size
+    return loss, grad
+
+
+def huber_loss(
+    predictions: np.ndarray, targets: np.ndarray, delta: float = 1.0
+) -> Tuple[float, np.ndarray]:
+    """Huber loss (smooth L1), standard in DQN training for robustness."""
+    if delta <= 0:
+        raise ValueError(f"delta must be positive, got {delta}")
+    predictions = np.asarray(predictions, dtype=np.float64)
+    targets = np.asarray(targets, dtype=np.float64)
+    if predictions.shape != targets.shape:
+        raise ValueError(
+            f"shape mismatch: predictions {predictions.shape} vs targets {targets.shape}"
+        )
+    diff = predictions - targets
+    abs_diff = np.abs(diff)
+    quadratic = np.minimum(abs_diff, delta)
+    linear = abs_diff - quadratic
+    loss = float(np.mean(0.5 * quadratic**2 + delta * linear))
+    grad = np.clip(diff, -delta, delta) / diff.size
+    return loss, grad

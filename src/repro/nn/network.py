@@ -1,0 +1,142 @@
+"""Sequential network container."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.nn.layers import Layer
+
+__all__ = ["Sequential"]
+
+#: Signature of a forward hook: (layer_index, layer, output) -> possibly-modified output.
+ForwardHook = Callable[[int, Layer, np.ndarray], np.ndarray]
+
+
+class Sequential:
+    """A simple feed-forward stack of layers.
+
+    Besides ordinary ``forward`` / ``backward`` training, the network supports
+    *forward hooks* so that the fault-injection framework can intercept and
+    corrupt intermediate activations exactly where the accelerator's output
+    buffer would hold them.
+    """
+
+    def __init__(self, layers: Sequence[Layer], name: str = "network") -> None:
+        self.layers: List[Layer] = list(layers)
+        self.name = name
+        seen = set()
+        for index, layer in enumerate(self.layers):
+            if layer.name in seen:
+                layer.name = f"{layer.name}_{index}"
+            seen.add(layer.name)
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def forward(
+        self,
+        x: np.ndarray,
+        training: bool = False,
+        hooks: Optional[Iterable[ForwardHook]] = None,
+    ) -> np.ndarray:
+        """Run the network.  Hooks see (and may replace) each layer output."""
+        hooks = list(hooks) if hooks else []
+        out = np.asarray(x, dtype=np.float64)
+        for index, layer in enumerate(self.layers):
+            out = layer.forward(out, training=training)
+            for hook in hooks:
+                out = hook(index, layer, out)
+        return out
+
+    def __call__(self, x: np.ndarray, **kwargs) -> np.ndarray:
+        return self.forward(x, **kwargs)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Backpropagate through all layers (after a training forward pass)."""
+        grad = grad_out
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    # ------------------------------------------------------------------ #
+    # Parameter access
+    # ------------------------------------------------------------------ #
+    def named_params(self) -> Dict[str, np.ndarray]:
+        """All trainable parameters keyed by ``"<layer>.<param>"``."""
+        out: Dict[str, np.ndarray] = {}
+        for layer in self.layers:
+            for key, value in layer.params().items():
+                out[f"{layer.name}.{key}"] = value
+        return out
+
+    def named_grads(self) -> Dict[str, np.ndarray]:
+        """All gradients keyed to match :meth:`named_params`."""
+        out: Dict[str, np.ndarray] = {}
+        for layer in self.layers:
+            for key, value in layer.grads().items():
+                out[f"{layer.name}.{key}"] = value
+        return out
+
+    def load_named_params(self, params: Dict[str, np.ndarray]) -> None:
+        """Copy values into the network's parameters (shapes must match)."""
+        current = self.named_params()
+        for key, value in params.items():
+            if key not in current:
+                raise KeyError(f"network has no parameter {key!r}")
+            current[key][...] = value
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Deep-copied snapshot of all parameters."""
+        return {key: value.copy() for key, value in self.named_params().items()}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Restore parameters from a snapshot produced by :meth:`state_dict`."""
+        self.load_named_params(state)
+
+    def num_params(self) -> int:
+        """Total number of trainable scalars."""
+        return sum(int(np.prod(p.shape)) for p in self.named_params().values())
+
+    # ------------------------------------------------------------------ #
+    # Structure queries
+    # ------------------------------------------------------------------ #
+    def trainable_layers(self) -> List[Layer]:
+        """Layers that own parameters (conv and dense layers)."""
+        return [layer for layer in self.layers if layer.trainable]
+
+    def layer_by_name(self, name: str) -> Layer:
+        for layer in self.layers:
+            if layer.name == name:
+                return layer
+        raise KeyError(f"no layer named {name!r} in network {self.name!r}")
+
+    def layer_index(self, name: str) -> int:
+        for index, layer in enumerate(self.layers):
+            if layer.name == name:
+                return index
+        raise KeyError(f"no layer named {name!r} in network {self.name!r}")
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        """Propagate a (channels, h, w) or (features,) shape through the stack."""
+        shape = tuple(input_shape)
+        for layer in self.layers:
+            shape = layer.output_shape(shape)
+        return shape
+
+    def summary(self, input_shape: Tuple[int, ...]) -> str:
+        """Human-readable per-layer shape/parameter summary."""
+        lines = [f"Sequential {self.name!r}"]
+        shape = tuple(input_shape)
+        for layer in self.layers:
+            shape = layer.output_shape(shape)
+            n_params = sum(int(np.prod(p.shape)) for p in layer.params().values())
+            lines.append(
+                f"  {layer.name:<16} {layer.kind:<12} out={shape} params={n_params}"
+            )
+        lines.append(f"  total params: {self.num_params()}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Sequential(name={self.name!r}, layers={[l.name for l in self.layers]})"

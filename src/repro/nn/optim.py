@@ -1,0 +1,130 @@
+"""Optimizers for the numpy NN substrate."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Set
+
+import numpy as np
+
+from repro.nn.network import Sequential
+
+__all__ = ["Optimizer", "SGD", "Adam"]
+
+
+class Optimizer:
+    """Base optimizer operating on a :class:`~repro.nn.network.Sequential`.
+
+    Parameters
+    ----------
+    network:
+        The network whose parameters will be updated in place.
+    learning_rate:
+        Step size.
+    frozen:
+        Iterable of parameter-name prefixes to exclude from updates.  The
+        drone policy fine-tunes only its last two layers online (transfer
+        learning, Sec. 4.2.1); freezing the convolutional layers reproduces
+        that setup.
+    """
+
+    def __init__(
+        self,
+        network: Sequential,
+        learning_rate: float = 1e-3,
+        frozen: Optional[Iterable[str]] = None,
+    ) -> None:
+        if learning_rate <= 0:
+            raise ValueError(f"learning_rate must be positive, got {learning_rate}")
+        self.network = network
+        self.learning_rate = learning_rate
+        self.frozen: Set[str] = set(frozen or ())
+
+    def freeze(self, prefix: str) -> None:
+        """Exclude parameters whose name starts with ``prefix`` from updates."""
+        self.frozen.add(prefix)
+
+    def unfreeze(self, prefix: str) -> None:
+        """Re-enable updates for parameters matching ``prefix``."""
+        self.frozen.discard(prefix)
+
+    def _is_frozen(self, name: str) -> bool:
+        return any(name.startswith(prefix) for prefix in self.frozen)
+
+    def step(self) -> None:
+        """Apply one update using the gradients currently stored in the network."""
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(
+        self,
+        network: Sequential,
+        learning_rate: float = 1e-2,
+        momentum: float = 0.0,
+        frozen: Optional[Iterable[str]] = None,
+    ) -> None:
+        super().__init__(network, learning_rate, frozen)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.momentum = momentum
+        self._velocity: Dict[str, np.ndarray] = {}
+
+    def step(self) -> None:
+        params = self.network.named_params()
+        grads = self.network.named_grads()
+        for name, param in params.items():
+            if self._is_frozen(name):
+                continue
+            grad = grads.get(name)
+            if grad is None:
+                continue
+            if self.momentum:
+                vel = self._velocity.setdefault(name, np.zeros_like(param))
+                vel *= self.momentum
+                vel -= self.learning_rate * grad
+                param += vel
+            else:
+                param -= self.learning_rate * grad
+
+
+class Adam(Optimizer):
+    """Adam optimizer (Kingma & Ba, 2015)."""
+
+    def __init__(
+        self,
+        network: Sequential,
+        learning_rate: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+        frozen: Optional[Iterable[str]] = None,
+    ) -> None:
+        super().__init__(network, learning_rate, frozen)
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._m: Dict[str, np.ndarray] = {}
+        self._v: Dict[str, np.ndarray] = {}
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        params = self.network.named_params()
+        grads = self.network.named_grads()
+        for name, param in params.items():
+            if self._is_frozen(name):
+                continue
+            grad = grads.get(name)
+            if grad is None:
+                continue
+            m = self._m.setdefault(name, np.zeros_like(param))
+            v = self._v.setdefault(name, np.zeros_like(param))
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad * grad
+            m_hat = m / (1.0 - self.beta1**self._t)
+            v_hat = v / (1.0 - self.beta2**self._t)
+            param -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.eps)

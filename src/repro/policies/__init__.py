@@ -1,0 +1,12 @@
+"""Policy network architectures used in the paper's experiments."""
+
+from repro.policies.grid_mlp import build_grid_q_network
+from repro.policies.c3f2 import build_c3f2, C3F2_LAYER_NAMES, paper_c3f2, small_c3f2
+
+__all__ = [
+    "build_grid_q_network",
+    "build_c3f2",
+    "paper_c3f2",
+    "small_c3f2",
+    "C3F2_LAYER_NAMES",
+]

@@ -1,0 +1,104 @@
+"""The C3F2 drone policy network (Fig. 6b).
+
+Three convolutional layers followed by two fully connected layers mapping the
+monocular camera image to 25 action values.  Two presets are provided:
+
+* :func:`paper_c3f2` — the full-size network of Fig. 6b (103x103 input,
+  96/64/64-ish channel widths).  Functional but slow in pure numpy; kept for
+  completeness and architecture tests.
+* :func:`small_c3f2` — a scaled-down variant (32x32 input) with the same
+  depth, layer ordering and pooling structure, used by the experiments so
+  drone fault campaigns finish on CPU.  The per-layer vulnerability ordering
+  that Fig. 7d depends on (early conv layers protected by pooling/ReLU, FC2
+  most exposed) is preserved by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.nn.layers import Conv2D, Dense, Flatten, MaxPool2D, ReLU
+from repro.nn.network import Sequential
+
+__all__ = ["build_c3f2", "small_c3f2", "paper_c3f2", "C3F2_LAYER_NAMES"]
+
+#: Trainable layer names, in forward order, used by per-layer fault sweeps.
+C3F2_LAYER_NAMES = ("conv1", "conv2", "conv3", "fc1", "fc2")
+
+
+def build_c3f2(
+    input_shape: Tuple[int, int, int],
+    n_actions: int = 25,
+    conv_channels: Tuple[int, int, int] = (8, 16, 16),
+    conv_kernels: Tuple[int, int, int] = (5, 3, 3),
+    conv_strides: Tuple[int, int, int] = (2, 1, 1),
+    fc1_size: int = 64,
+    rng: Optional[np.random.Generator] = None,
+) -> Sequential:
+    """Build a C3F2-style network for a given input shape.
+
+    The structure follows Fig. 6b: conv1 -> pool -> conv2 -> pool -> conv3
+    (no pool) -> fc1 -> fc2.  Max-pooling and ReLU close the first two conv
+    stages, which is what gives them their fault-masking behaviour (Fig. 7d).
+    """
+    channels, height, width = input_shape
+    if channels <= 0 or height <= 0 or width <= 0:
+        raise ValueError(f"invalid input shape {input_shape}")
+    rng = rng or np.random.default_rng()
+    layers = [
+        Conv2D(channels, conv_channels[0], conv_kernels[0], stride=conv_strides[0], name="conv1", rng=rng),
+        ReLU(name="relu1"),
+        MaxPool2D(2, name="pool1"),
+        Conv2D(conv_channels[0], conv_channels[1], conv_kernels[1], stride=conv_strides[1], name="conv2", rng=rng),
+        ReLU(name="relu2"),
+        MaxPool2D(2, name="pool2"),
+        Conv2D(conv_channels[1], conv_channels[2], conv_kernels[2], stride=conv_strides[2], name="conv3", rng=rng),
+        ReLU(name="relu3"),
+        Flatten(name="flatten"),
+    ]
+    conv_stack = Sequential(layers, name="c3f2_features")
+    flat_features = conv_stack.output_shape(input_shape)[0]
+    layers.extend(
+        [
+            Dense(flat_features, fc1_size, name="fc1", rng=rng),
+            ReLU(name="relu_fc1"),
+            Dense(fc1_size, n_actions, name="fc2", rng=rng),
+        ]
+    )
+    return Sequential(layers, name="c3f2")
+
+
+def small_c3f2(
+    image_size: int = 32,
+    n_actions: int = 25,
+    rng: Optional[np.random.Generator] = None,
+) -> Sequential:
+    """Scaled-down C3F2 used by the CPU-friendly drone experiments."""
+    if image_size < 20:
+        raise ValueError(f"image_size must be at least 20, got {image_size}")
+    return build_c3f2(
+        (1, image_size, image_size),
+        n_actions=n_actions,
+        conv_channels=(8, 16, 16),
+        conv_kernels=(5, 3, 3),
+        conv_strides=(1, 1, 1),
+        fc1_size=64,
+        rng=rng,
+    )
+
+
+def paper_c3f2(
+    n_actions: int = 25, rng: Optional[np.random.Generator] = None
+) -> Sequential:
+    """Full-size C3F2 approximating Fig. 6b (103x103x3 input, 96/64/64 channels)."""
+    return build_c3f2(
+        (3, 103, 103),
+        n_actions=n_actions,
+        conv_channels=(96, 64, 64),
+        conv_kernels=(7, 5, 3),
+        conv_strides=(3, 2, 1),
+        fc1_size=1024,
+        rng=rng,
+    )

@@ -1,0 +1,39 @@
+"""NN-based Q-function for Grid World.
+
+A small fully connected network over one-hot state encodings, used by the
+"NN-based approach" of Sec. 4.1.  Layer names (``fc1``, ``fc2``, ...) are
+stable so experiments can address their weight buffers by name.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.nn.layers import Dense, ReLU
+from repro.nn.network import Sequential
+
+__all__ = ["build_grid_q_network"]
+
+
+def build_grid_q_network(
+    n_states: int,
+    n_actions: int,
+    hidden_sizes: Sequence[int] = (32, 32),
+    rng: Optional[np.random.Generator] = None,
+) -> Sequential:
+    """Build the Grid World Q-network: one-hot state -> per-action Q values."""
+    if n_states <= 0 or n_actions <= 0:
+        raise ValueError("n_states and n_actions must be positive")
+    rng = rng or np.random.default_rng()
+    layers = []
+    in_features = n_states
+    for index, hidden in enumerate(hidden_sizes, start=1):
+        layers.append(Dense(in_features, hidden, name=f"fc{index}", rng=rng))
+        layers.append(ReLU(name=f"relu{index}"))
+        in_features = hidden
+    layers.append(
+        Dense(in_features, n_actions, name=f"fc{len(hidden_sizes) + 1}", rng=rng)
+    )
+    return Sequential(layers, name="grid_q_network")

@@ -1,0 +1,46 @@
+"""Fixed-point quantization substrate.
+
+This package models the fixed-point data types used by the paper's
+edge accelerator: signed two's-complement ``Q(sign, integer, fraction)``
+formats such as ``Q(1,4,11)``, ``Q(1,7,8)`` and ``Q(1,10,5)`` (Fig. 7e) and
+the 8-bit formats used for the Grid World policies.
+
+The central abstraction is :class:`~repro.quant.qtensor.QTensor`, which keeps
+both the real-valued view and the raw integer (bit-level) view of a tensor in
+sync so that hardware faults can be injected at the bit level and observed at
+the value level.
+"""
+
+from repro.quant.qformat import QFormat, Q8_GRID, Q16_NARROW, Q16_MID, Q16_WIDE
+from repro.quant.qtensor import QTensor
+from repro.quant.bitops import (
+    flip_bits,
+    set_bits,
+    clear_bits,
+    apply_stuck_at,
+    random_bit_positions,
+)
+from repro.quant.statistics import (
+    bit_histogram,
+    value_histogram,
+    bit_level_stats,
+    BitStats,
+)
+
+__all__ = [
+    "QFormat",
+    "Q8_GRID",
+    "Q16_NARROW",
+    "Q16_MID",
+    "Q16_WIDE",
+    "QTensor",
+    "flip_bits",
+    "set_bits",
+    "clear_bits",
+    "apply_stuck_at",
+    "random_bit_positions",
+    "bit_histogram",
+    "value_histogram",
+    "bit_level_stats",
+    "BitStats",
+]

@@ -1,0 +1,150 @@
+"""Bit-level operations on raw fixed-point words.
+
+These functions operate on ``int64`` numpy arrays holding two's-complement
+words in their low bits (the raw representation used by
+:class:`~repro.quant.qtensor.QTensor`).  They implement the physical fault
+mechanisms of the paper's fault model (Sec. 3.2): transient bit-flips and
+permanent stuck-at-0 / stuck-at-1 faults.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "flip_bits",
+    "set_bits",
+    "clear_bits",
+    "apply_stuck_at",
+    "random_bit_positions",
+]
+
+
+def _validate(raw: np.ndarray, positions: np.ndarray, total_bits: int) -> Tuple[np.ndarray, np.ndarray]:
+    raw = np.asarray(raw, dtype=np.int64)
+    positions = np.asarray(positions, dtype=np.int64)
+    if positions.size and (positions.min() < 0 or positions.max() >= total_bits):
+        raise ValueError(
+            f"bit positions must lie in [0, {total_bits}), got range "
+            f"[{positions.min()}, {positions.max()}]"
+        )
+    return raw, positions
+
+
+def flip_bits(
+    raw: np.ndarray,
+    element_indices: np.ndarray,
+    bit_positions: np.ndarray,
+    total_bits: int,
+) -> np.ndarray:
+    """Flip ``bit_positions[i]`` of the flat element ``element_indices[i]``.
+
+    Models a transient single-event upset: the logical value of the targeted
+    bit is inverted.  Returns a new array; the input is not modified.
+    """
+    raw, bit_positions = _validate(raw, bit_positions, total_bits)
+    out = raw.copy()
+    flat = out.reshape(-1)
+    element_indices = np.asarray(element_indices, dtype=np.int64)
+    if element_indices.shape != bit_positions.shape:
+        raise ValueError("element_indices and bit_positions must have the same shape")
+    np.bitwise_xor.at(flat, element_indices, np.int64(1) << bit_positions)
+    return out
+
+
+def set_bits(
+    raw: np.ndarray,
+    element_indices: np.ndarray,
+    bit_positions: np.ndarray,
+    total_bits: int,
+) -> np.ndarray:
+    """Force the targeted bits to logic 1 (stuck-at-1 behaviour)."""
+    raw, bit_positions = _validate(raw, bit_positions, total_bits)
+    out = raw.copy()
+    flat = out.reshape(-1)
+    element_indices = np.asarray(element_indices, dtype=np.int64)
+    np.bitwise_or.at(flat, element_indices, np.int64(1) << bit_positions)
+    return out
+
+
+def clear_bits(
+    raw: np.ndarray,
+    element_indices: np.ndarray,
+    bit_positions: np.ndarray,
+    total_bits: int,
+) -> np.ndarray:
+    """Force the targeted bits to logic 0 (stuck-at-0 behaviour)."""
+    raw, bit_positions = _validate(raw, bit_positions, total_bits)
+    out = raw.copy()
+    flat = out.reshape(-1)
+    element_indices = np.asarray(element_indices, dtype=np.int64)
+    np.bitwise_and.at(flat, element_indices, ~(np.int64(1) << bit_positions))
+    return out
+
+
+def apply_stuck_at(
+    raw: np.ndarray,
+    element_indices: np.ndarray,
+    bit_positions: np.ndarray,
+    stuck_value: int,
+    total_bits: int,
+) -> np.ndarray:
+    """Apply a stuck-at fault pattern to the targeted bits.
+
+    Parameters
+    ----------
+    stuck_value:
+        0 for stuck-at-0 or 1 for stuck-at-1.
+    """
+    if stuck_value not in (0, 1):
+        raise ValueError(f"stuck_value must be 0 or 1, got {stuck_value}")
+    if stuck_value == 1:
+        return set_bits(raw, element_indices, bit_positions, total_bits)
+    return clear_bits(raw, element_indices, bit_positions, total_bits)
+
+
+def random_bit_positions(
+    num_elements: int,
+    total_bits: int,
+    bit_error_rate: float,
+    rng: np.random.Generator,
+    max_faults: Optional[int] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Sample fault sites for a given bit error rate.
+
+    The total bit population is ``num_elements * total_bits``.  The number of
+    faulty bits is drawn so that the expected fraction equals
+    ``bit_error_rate``; sites are sampled without replacement so no bit is
+    selected twice within one injection.
+
+    Returns
+    -------
+    (element_indices, bit_positions):
+        Parallel arrays describing each faulty bit.
+    """
+    if not 0.0 <= bit_error_rate <= 1.0:
+        raise ValueError(f"bit_error_rate must be in [0, 1], got {bit_error_rate}")
+    if num_elements < 0:
+        raise ValueError("num_elements must be non-negative")
+    population = num_elements * total_bits
+    if population == 0 or bit_error_rate == 0.0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+
+    expected = population * bit_error_rate
+    # Round stochastically so tiny BERs on small tensors still inject
+    # sometimes rather than always rounding to zero.
+    n_faults = int(np.floor(expected))
+    if rng.random() < expected - n_faults:
+        n_faults += 1
+    n_faults = min(n_faults, population)
+    if max_faults is not None:
+        n_faults = min(n_faults, max_faults)
+    if n_faults == 0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+
+    flat_sites = rng.choice(population, size=n_faults, replace=False)
+    element_indices = (flat_sites // total_bits).astype(np.int64)
+    bit_positions = (flat_sites % total_bits).astype(np.int64)
+    return element_indices, bit_positions

@@ -1,0 +1,188 @@
+"""Fixed-point format descriptors.
+
+The paper quantizes policies to fixed-point two's-complement formats written
+``Q(sign, integer, fraction)``.  For example ``Q(1,4,11)`` is a 16-bit word
+with one sign bit, four integer bits and eleven fractional bits, representing
+values in ``[-16, 16 - 2**-11]`` with a resolution of ``2**-11``.
+
+Formats are immutable value objects; all numeric conversion logic lives here
+so that :class:`~repro.quant.qtensor.QTensor` stays a thin container.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["QFormat", "Q8_GRID", "Q16_NARROW", "Q16_MID", "Q16_WIDE"]
+
+
+@dataclass(frozen=True)
+class QFormat:
+    """A signed two's-complement fixed-point format ``Q(sign, integer, fraction)``.
+
+    Parameters
+    ----------
+    sign_bits:
+        Number of sign bits.  The paper always uses 1; 0 is allowed for
+        unsigned experiments.
+    integer_bits:
+        Number of integer (magnitude) bits.
+    fraction_bits:
+        Number of fractional bits.  The scale factor is ``2**fraction_bits``.
+    """
+
+    sign_bits: int
+    integer_bits: int
+    fraction_bits: int
+
+    def __post_init__(self) -> None:
+        if self.sign_bits not in (0, 1):
+            raise ValueError(f"sign_bits must be 0 or 1, got {self.sign_bits}")
+        if self.integer_bits < 0 or self.fraction_bits < 0:
+            raise ValueError("integer_bits and fraction_bits must be non-negative")
+        if self.total_bits < 2:
+            raise ValueError("a QFormat needs at least 2 bits")
+        if self.total_bits > 62:
+            raise ValueError("QFormat wider than 62 bits is not supported")
+
+    # ------------------------------------------------------------------ #
+    # Derived properties
+    # ------------------------------------------------------------------ #
+    @property
+    def total_bits(self) -> int:
+        """Total word width in bits."""
+        return self.sign_bits + self.integer_bits + self.fraction_bits
+
+    @property
+    def signed(self) -> bool:
+        """Whether the format carries a sign bit."""
+        return self.sign_bits == 1
+
+    @property
+    def scale(self) -> float:
+        """Value of one least-significant bit."""
+        return 2.0 ** (-self.fraction_bits)
+
+    @property
+    def max_value(self) -> float:
+        """Largest representable value."""
+        return (self.max_raw) * self.scale
+
+    @property
+    def min_value(self) -> float:
+        """Smallest (most negative) representable value."""
+        return (self.min_raw) * self.scale
+
+    @property
+    def max_raw(self) -> int:
+        """Largest raw integer word (as a signed integer)."""
+        if self.signed:
+            return (1 << (self.total_bits - 1)) - 1
+        return (1 << self.total_bits) - 1
+
+    @property
+    def min_raw(self) -> int:
+        """Smallest raw integer word (as a signed integer)."""
+        if self.signed:
+            return -(1 << (self.total_bits - 1))
+        return 0
+
+    @property
+    def sign_bit_position(self) -> int:
+        """Bit index of the sign bit (MSB), or -1 for unsigned formats."""
+        return self.total_bits - 1 if self.signed else -1
+
+    @property
+    def integer_bit_positions(self) -> range:
+        """Bit indices (LSB = 0) covered by the integer part."""
+        return range(self.fraction_bits, self.fraction_bits + self.integer_bits)
+
+    @property
+    def fraction_bit_positions(self) -> range:
+        """Bit indices (LSB = 0) covered by the fractional part."""
+        return range(0, self.fraction_bits)
+
+    @property
+    def sign_and_integer_mask(self) -> int:
+        """Bit mask selecting the sign and integer bits.
+
+        The paper's anomaly detector compares only these bits (Sec. 5.2) to
+        reduce hardware cost, since the fractional part has little impact.
+        """
+        high_bits = self.sign_bits + self.integer_bits
+        return ((1 << high_bits) - 1) << self.fraction_bits
+
+    @property
+    def word_mask(self) -> int:
+        """Mask of all bits in the word."""
+        return (1 << self.total_bits) - 1
+
+    # ------------------------------------------------------------------ #
+    # Value <-> raw conversion
+    # ------------------------------------------------------------------ #
+    def quantize(self, values: np.ndarray) -> np.ndarray:
+        """Quantize real values to this format, returning real-valued output.
+
+        Values outside the representable range saturate.
+        """
+        return self.decode(self.encode(values))
+
+    def encode(self, values: np.ndarray) -> np.ndarray:
+        """Encode real values into raw unsigned integer words (two's complement).
+
+        Returns an ``int64`` array where each element holds the word's bit
+        pattern in its low ``total_bits`` bits.
+        """
+        values = np.asarray(values, dtype=np.float64)
+        raw = np.rint(values / self.scale).astype(np.int64)
+        raw = np.clip(raw, self.min_raw, self.max_raw)
+        return raw & self.word_mask
+
+    def decode(self, raw: np.ndarray) -> np.ndarray:
+        """Decode raw unsigned words (two's complement) back to real values."""
+        raw = np.asarray(raw, dtype=np.int64) & self.word_mask
+        if self.signed:
+            sign_bit = 1 << (self.total_bits - 1)
+            signed = np.where(raw & sign_bit, raw - (1 << self.total_bits), raw)
+        else:
+            signed = raw
+        return signed.astype(np.float64) * self.scale
+
+    def representable(self, values: np.ndarray, rtol: float = 0.0) -> np.ndarray:
+        """Boolean mask of values that fall inside the representable range."""
+        values = np.asarray(values, dtype=np.float64)
+        lo = self.min_value * (1.0 + rtol)
+        hi = self.max_value * (1.0 + rtol)
+        return (values >= lo) & (values <= hi)
+
+    # ------------------------------------------------------------------ #
+    # Presentation helpers
+    # ------------------------------------------------------------------ #
+    def __str__(self) -> str:
+        return f"Q({self.sign_bits},{self.integer_bits},{self.fraction_bits})"
+
+    @classmethod
+    def parse(cls, spec: str) -> "QFormat":
+        """Parse a string like ``"Q(1,4,11)"`` or ``"1,4,11"`` into a QFormat."""
+        text = spec.strip()
+        if text.upper().startswith("Q"):
+            text = text[1:]
+        text = text.strip("() ")
+        parts = [p.strip() for p in text.split(",")]
+        if len(parts) != 3:
+            raise ValueError(f"cannot parse QFormat spec {spec!r}")
+        sign, integer, fraction = (int(p) for p in parts)
+        return cls(sign, integer, fraction)
+
+
+#: 8-bit format used for the Grid World policies (Sec. 4.1): Q(1,3,4)
+#: covers roughly [-8, 8) with 1/16 resolution, matching the tabular value
+#: histogram range in Fig. 2b.
+Q8_GRID = QFormat(1, 3, 4)
+
+#: The three 16-bit formats compared in Fig. 7e.
+Q16_NARROW = QFormat(1, 4, 11)
+Q16_MID = QFormat(1, 7, 8)
+Q16_WIDE = QFormat(1, 10, 5)

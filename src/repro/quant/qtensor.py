@@ -1,0 +1,203 @@
+"""Quantized tensors with a synchronized bit-level view.
+
+A :class:`QTensor` keeps a real-valued numpy array together with its raw
+two's-complement integer representation under a given
+:class:`~repro.quant.qformat.QFormat`.  Fault injectors mutate the raw view
+(bit flips, stuck-at patterns); consumers read the decoded value view.  The
+two views are kept consistent: writing values re-encodes the raw words,
+mutating raw words re-decodes the values.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple
+
+import numpy as np
+
+from repro.quant.bitops import apply_stuck_at, flip_bits, random_bit_positions
+from repro.quant.qformat import QFormat
+
+__all__ = ["QTensor"]
+
+
+class QTensor:
+    """A fixed-point tensor addressable both by value and by bit.
+
+    Parameters
+    ----------
+    values:
+        Real-valued data to quantize into the tensor.
+    qformat:
+        The fixed-point format.
+    name:
+        Optional buffer name (e.g. ``"weight"``, ``"activation"``) used by
+        the fault-injection framework to address fault locations.
+    """
+
+    def __init__(self, values: np.ndarray, qformat: QFormat, name: str = "") -> None:
+        self.qformat = qformat
+        self.name = name
+        values = np.asarray(values, dtype=np.float64)
+        self._raw = qformat.encode(values)
+        self._shape = values.shape
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_raw(cls, raw: np.ndarray, qformat: QFormat, name: str = "") -> "QTensor":
+        """Build a QTensor directly from raw two's-complement words."""
+        obj = cls.__new__(cls)
+        obj.qformat = qformat
+        obj.name = name
+        raw = np.asarray(raw, dtype=np.int64) & qformat.word_mask
+        obj._raw = raw
+        obj._shape = raw.shape
+        return obj
+
+    @classmethod
+    def zeros(cls, shape: Tuple[int, ...], qformat: QFormat, name: str = "") -> "QTensor":
+        """Create an all-zero QTensor with the given shape."""
+        return cls(np.zeros(shape, dtype=np.float64), qformat, name=name)
+
+    def copy(self) -> "QTensor":
+        """Deep copy of the tensor (raw words copied)."""
+        return QTensor.from_raw(self._raw.copy(), self.qformat, name=self.name)
+
+    # ------------------------------------------------------------------ #
+    # Views
+    # ------------------------------------------------------------------ #
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self._shape
+
+    @property
+    def size(self) -> int:
+        return int(np.prod(self._shape)) if self._shape else 1
+
+    @property
+    def values(self) -> np.ndarray:
+        """Decoded real-valued view (a fresh array each call)."""
+        return self.qformat.decode(self._raw)
+
+    @values.setter
+    def values(self, new_values: np.ndarray) -> None:
+        new_values = np.asarray(new_values, dtype=np.float64)
+        if new_values.shape != self._shape:
+            raise ValueError(
+                f"shape mismatch: tensor is {self._shape}, got {new_values.shape}"
+            )
+        self._raw = self.qformat.encode(new_values)
+
+    @property
+    def raw(self) -> np.ndarray:
+        """Raw two's-complement word view (a copy; use setters to mutate)."""
+        return self._raw.copy()
+
+    @raw.setter
+    def raw(self, new_raw: np.ndarray) -> None:
+        new_raw = np.asarray(new_raw, dtype=np.int64)
+        if new_raw.shape != self._shape:
+            raise ValueError(
+                f"shape mismatch: tensor is {self._shape}, got {new_raw.shape}"
+            )
+        self._raw = new_raw & self.qformat.word_mask
+
+    # ------------------------------------------------------------------ #
+    # Fault primitives
+    # ------------------------------------------------------------------ #
+    def inject_bit_flips(
+        self,
+        element_indices: np.ndarray,
+        bit_positions: np.ndarray,
+    ) -> None:
+        """Flip the addressed bits in place (transient fault)."""
+        self._raw = flip_bits(
+            self._raw, element_indices, bit_positions, self.qformat.total_bits
+        )
+
+    def inject_stuck_at(
+        self,
+        element_indices: np.ndarray,
+        bit_positions: np.ndarray,
+        stuck_value: int,
+    ) -> None:
+        """Force the addressed bits to 0 or 1 in place (permanent fault)."""
+        self._raw = apply_stuck_at(
+            self._raw,
+            element_indices,
+            bit_positions,
+            stuck_value,
+            self.qformat.total_bits,
+        )
+
+    def inject_random_bit_flips(
+        self, bit_error_rate: float, rng: np.random.Generator
+    ) -> int:
+        """Flip a random set of bits at the given BER.  Returns the flip count."""
+        elements, bits = random_bit_positions(
+            self.size, self.qformat.total_bits, bit_error_rate, rng
+        )
+        if elements.size:
+            self.inject_bit_flips(elements, bits)
+        return int(elements.size)
+
+    def sample_fault_sites(
+        self, bit_error_rate: float, rng: np.random.Generator
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Sample (element, bit) fault sites at the given BER without injecting."""
+        return random_bit_positions(
+            self.size, self.qformat.total_bits, bit_error_rate, rng
+        )
+
+    # ------------------------------------------------------------------ #
+    # Inspection helpers
+    # ------------------------------------------------------------------ #
+    def bit_counts(self) -> Tuple[int, int]:
+        """Return (number of 0 bits, number of 1 bits) across the tensor.
+
+        Used for the bit-level sparsity statistics of Fig. 2b / 2d, which
+        explain why stuck-at-1 faults are more damaging than stuck-at-0.
+        """
+        total_bits = self.qformat.total_bits
+        ones = 0
+        flat = self._raw.reshape(-1)
+        for bit in range(total_bits):
+            ones += int(np.count_nonzero(flat & (np.int64(1) << bit)))
+        zeros = self.size * total_bits - ones
+        return zeros, ones
+
+    def value_range(self) -> Tuple[float, float]:
+        """Minimum and maximum decoded values."""
+        vals = self.values
+        return float(vals.min()), float(vals.max())
+
+    def out_of_range_mask(self, low: float, high: float) -> np.ndarray:
+        """Boolean mask of elements whose decoded value is outside [low, high]."""
+        vals = self.values
+        return (vals < low) | (vals > high)
+
+    def sign_integer_words(self) -> np.ndarray:
+        """Raw words masked to sign+integer bits only.
+
+        The range-based anomaly detector compares these truncated words
+        against the instrumented bounds so the comparator hardware can skip
+        the fractional bits entirely (Sec. 5.2).
+        """
+        return self._raw & self.qformat.sign_and_integer_mask
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        label = f" {self.name!r}" if self.name else ""
+        return f"QTensor({self.qformat},{label} shape={self._shape})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, QTensor):
+            return NotImplemented
+        return (
+            self.qformat == other.qformat
+            and self._shape == other._shape
+            and bool(np.array_equal(self._raw, other._raw))
+        )
+
+    def __hash__(self) -> int:  # QTensors are mutable; identity hash
+        return id(self)

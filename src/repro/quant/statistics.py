@@ -1,0 +1,91 @@
+"""Value and bit-level statistics of quantized tensors.
+
+These reproduce the histograms of Fig. 2b (tabular Q values) and Fig. 2d (NN
+weights) together with the 0-bit / 1-bit fractions that the paper uses to
+explain the asymmetry between stuck-at-0 and stuck-at-1 faults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.quant.qtensor import QTensor
+
+__all__ = ["BitStats", "bit_histogram", "value_histogram", "bit_level_stats"]
+
+
+@dataclass(frozen=True)
+class BitStats:
+    """Summary of the bit-level composition of a quantized tensor."""
+
+    zero_bits: int
+    one_bits: int
+    zero_fraction: float
+    one_fraction: float
+    zero_to_one_ratio: float
+    min_value: float
+    max_value: float
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict view convenient for result tables."""
+        return {
+            "zero_bits": self.zero_bits,
+            "one_bits": self.one_bits,
+            "zero_fraction": self.zero_fraction,
+            "one_fraction": self.one_fraction,
+            "zero_to_one_ratio": self.zero_to_one_ratio,
+            "min_value": self.min_value,
+            "max_value": self.max_value,
+        }
+
+
+def bit_level_stats(tensor: QTensor) -> BitStats:
+    """Compute 0/1 bit fractions and value range for a quantized tensor."""
+    zeros, ones = tensor.bit_counts()
+    total = zeros + ones
+    if total == 0:
+        raise ValueError("cannot compute bit statistics of an empty tensor")
+    lo, hi = tensor.value_range()
+    ratio = zeros / ones if ones else float("inf")
+    return BitStats(
+        zero_bits=zeros,
+        one_bits=ones,
+        zero_fraction=zeros / total,
+        one_fraction=ones / total,
+        zero_to_one_ratio=ratio,
+        min_value=lo,
+        max_value=hi,
+    )
+
+
+def bit_histogram(tensor: QTensor) -> np.ndarray:
+    """Per-bit-position count of set bits, LSB first.
+
+    Element ``i`` is the number of words whose bit ``i`` is 1.  Useful for
+    checking which bit positions are populated (MSBs of sparse NN weights are
+    mostly zero, which is why stuck-at-1 faults there are so damaging).
+    """
+    total_bits = tensor.qformat.total_bits
+    flat = tensor.raw.reshape(-1)
+    counts = np.empty(total_bits, dtype=np.int64)
+    for bit in range(total_bits):
+        counts[bit] = np.count_nonzero(flat & (np.int64(1) << bit))
+    return counts
+
+
+def value_histogram(
+    tensor: QTensor, bins: int = 64, value_range: Tuple[float, float] = None
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Histogram of the decoded values (counts, bin_edges).
+
+    Mirrors Fig. 2b / 2d: tabular values span a wide range not centred at
+    zero, while NN weights cluster narrowly around zero.
+    """
+    vals = tensor.values.reshape(-1)
+    if value_range is None:
+        value_range = (tensor.qformat.min_value, tensor.qformat.max_value)
+    counts, edges = np.histogram(vals, bins=bins, range=value_range)
+    return counts, edges

@@ -1,0 +1,38 @@
+"""Reinforcement-learning substrate.
+
+Implements the learning algorithms evaluated by the paper:
+
+* tabular Q-learning with an 8-bit quantized Q table
+  (:mod:`repro.rl.tabular`),
+* neural-network Q-function approximation / DQN and Double DQN with
+  experience replay (:mod:`repro.rl.dqn`),
+* decaying epsilon-greedy exploration schedules whose rate can be adjusted
+  at runtime by the fault-mitigation controller (:mod:`repro.rl.schedules`),
+* a training loop with hook points for fault injection and mitigation
+  (:mod:`repro.rl.trainer`), and policy evaluation rollouts
+  (:mod:`repro.rl.evaluation`).
+"""
+
+from repro.rl.base import Agent, Transition
+from repro.rl.schedules import ConstantSchedule, DecayingEpsilonGreedy
+from repro.rl.replay import ReplayBuffer
+from repro.rl.tabular import TabularQAgent
+from repro.rl.dqn import DQNAgent, DoubleDQNAgent
+from repro.rl.trainer import TrainingHooks, TrainingResult, train_agent
+from repro.rl.evaluation import evaluate_success_rate, greedy_rollout
+
+__all__ = [
+    "Agent",
+    "Transition",
+    "ConstantSchedule",
+    "DecayingEpsilonGreedy",
+    "ReplayBuffer",
+    "TabularQAgent",
+    "DQNAgent",
+    "DoubleDQNAgent",
+    "TrainingHooks",
+    "TrainingResult",
+    "train_agent",
+    "evaluate_success_rate",
+    "greedy_rollout",
+]

@@ -1,0 +1,102 @@
+"""Policy evaluation rollouts.
+
+Inference in a learning-based navigation system is a sequential
+decision-making process (Sec. 4.1.2): the trained policy is queried at every
+step, so the evaluation functions here run full greedy episodes and report
+task-level metrics (success, cumulative reward, distance travelled) rather
+than single-prediction accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+__all__ = ["RolloutResult", "greedy_rollout", "evaluate_success_rate", "evaluate_mean_metric"]
+
+#: A policy is any callable mapping a state to a discrete action.
+Policy = Callable[[object], int]
+
+
+@dataclass(frozen=True)
+class RolloutResult:
+    """Outcome of one greedy evaluation episode."""
+
+    total_reward: float
+    steps: int
+    success: bool
+    info: dict
+
+
+def greedy_rollout(
+    policy: Policy,
+    env,
+    max_steps: int = 200,
+    step_hook: Optional[Callable[[int, object, int], None]] = None,
+) -> RolloutResult:
+    """Run one episode following ``policy`` greedily.
+
+    ``step_hook(step, state, action)`` — if given — is called before every
+    action is applied; inference-time fault injectors use it to corrupt
+    buffers mid-episode (the Transient-1 fault mode of Fig. 5).
+    """
+    state = env.reset()
+    total_reward = 0.0
+    success = False
+    last_info: dict = {}
+    steps = 0
+    for step in range(max_steps):
+        action = policy(state)
+        if step_hook is not None:
+            step_hook(step, state, action)
+        state, reward, done, info = env.step(action)
+        total_reward += reward
+        last_info = info
+        steps = step + 1
+        if done:
+            success = bool(info.get("success", False))
+            break
+    return RolloutResult(total_reward=total_reward, steps=steps, success=success, info=last_info)
+
+
+def evaluate_success_rate(
+    policy: Policy,
+    env,
+    trials: int = 100,
+    max_steps: int = 200,
+) -> float:
+    """Success rate over repeated greedy episodes (Grid World metric)."""
+    if trials <= 0:
+        raise ValueError(f"trials must be positive, got {trials}")
+    successes = 0
+    for _ in range(trials):
+        if greedy_rollout(policy, env, max_steps=max_steps).success:
+            successes += 1
+    return successes / trials
+
+
+def evaluate_mean_metric(
+    policy: Policy,
+    env,
+    metric_key: str,
+    trials: int = 10,
+    max_steps: int = 500,
+) -> float:
+    """Average of an ``info``-reported metric over repeated greedy episodes.
+
+    Used for the drone's Mean Safe Flight distance: the drone environment
+    reports the distance flown before collision in ``info["flight_distance"]``.
+    """
+    if trials <= 0:
+        raise ValueError(f"trials must be positive, got {trials}")
+    values = []
+    for _ in range(trials):
+        result = greedy_rollout(policy, env, max_steps=max_steps)
+        if metric_key not in result.info:
+            raise KeyError(
+                f"environment info does not report {metric_key!r}; got {sorted(result.info)}"
+            )
+        values.append(float(result.info[metric_key]))
+    return float(np.mean(values))

@@ -1,0 +1,49 @@
+"""Experience replay buffer for DQN training."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional
+
+import numpy as np
+
+from repro.rl.base import Transition
+
+__all__ = ["ReplayBuffer"]
+
+
+class ReplayBuffer:
+    """Fixed-capacity FIFO replay memory with uniform sampling."""
+
+    def __init__(self, capacity: int, rng: Optional[np.random.Generator] = None) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._storage: Deque[Transition] = deque(maxlen=capacity)
+        self._rng = rng or np.random.default_rng()
+
+    def push(self, transition: Transition) -> None:
+        """Append a transition, evicting the oldest if at capacity."""
+        self._storage.append(transition)
+
+    def sample(self, batch_size: int) -> List[Transition]:
+        """Uniformly sample ``batch_size`` transitions (with replacement if needed)."""
+        if not self._storage:
+            raise ValueError("cannot sample from an empty replay buffer")
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        replace = batch_size > len(self._storage)
+        indices = self._rng.choice(len(self._storage), size=batch_size, replace=replace)
+        return [self._storage[int(i)] for i in indices]
+
+    def __len__(self) -> int:
+        return len(self._storage)
+
+    def __iter__(self):
+        return iter(self._storage)
+
+    def clear(self) -> None:
+        self._storage.clear()
+
+    def is_full(self) -> bool:
+        return len(self._storage) == self.capacity

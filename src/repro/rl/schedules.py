@@ -1,0 +1,130 @@
+"""Exploration-rate schedules.
+
+The paper uses the standard decaying-epsilon-greedy strategy: exploration
+starts high and decays each episode until it reaches a steady exploitation
+floor.  The training-time fault-mitigation technique (Sec. 5.1) works by
+*adjusting* this schedule at runtime — bumping epsilon back up after a
+transient fault, or restarting the decay at a slower rate after a permanent
+fault — so the schedule objects here expose explicit mutation hooks.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = ["ConstantSchedule", "DecayingEpsilonGreedy"]
+
+
+class ConstantSchedule:
+    """A fixed exploration rate (useful for ablations and tests)."""
+
+    def __init__(self, epsilon: float) -> None:
+        if not 0.0 <= epsilon <= 1.0:
+            raise ValueError(f"epsilon must be in [0, 1], got {epsilon}")
+        self._epsilon = epsilon
+
+    @property
+    def epsilon(self) -> float:
+        return self._epsilon
+
+    def step(self) -> float:
+        """Advance one episode; constant schedules never change."""
+        return self._epsilon
+
+    def is_steady(self) -> bool:
+        """Constant schedules are always in their steady state."""
+        return True
+
+
+class DecayingEpsilonGreedy:
+    """Multiplicative epsilon decay with a steady exploitation floor.
+
+    Parameters
+    ----------
+    start:
+        Initial exploration rate.
+    floor:
+        Steady-state exploitation epsilon (the schedule never goes below it).
+    decay:
+        Per-episode multiplicative decay factor in (0, 1].
+    """
+
+    def __init__(self, start: float = 1.0, floor: float = 0.05, decay: float = 0.97) -> None:
+        if not 0.0 <= floor <= start <= 1.0:
+            raise ValueError(
+                f"need 0 <= floor <= start <= 1, got start={start}, floor={floor}"
+            )
+        if not 0.0 < decay <= 1.0:
+            raise ValueError(f"decay must be in (0, 1], got {decay}")
+        self.start = start
+        self.floor = floor
+        self.base_decay = decay
+        self._decay = decay
+        self._epsilon = start
+        self._episodes = 0
+
+    # ------------------------------------------------------------------ #
+    # Normal operation
+    # ------------------------------------------------------------------ #
+    @property
+    def epsilon(self) -> float:
+        return self._epsilon
+
+    @property
+    def decay(self) -> float:
+        return self._decay
+
+    @property
+    def episodes(self) -> int:
+        """Number of schedule steps taken so far."""
+        return self._episodes
+
+    def step(self) -> float:
+        """Advance one episode and return the new epsilon."""
+        self._episodes += 1
+        self._epsilon = max(self.floor, self._epsilon * self._decay)
+        return self._epsilon
+
+    def is_steady(self, tolerance: float = 1e-9) -> bool:
+        """True once epsilon has decayed down to the exploitation floor."""
+        return self._epsilon <= self.floor + tolerance
+
+    def episodes_to_steady(self) -> int:
+        """Episodes needed (from the start) to reach the floor at the base decay."""
+        import math
+
+        if self.start <= self.floor:
+            return 0
+        return int(math.ceil(math.log(self.floor / self.start) / math.log(self.base_decay)))
+
+    # ------------------------------------------------------------------ #
+    # Mitigation hooks (Sec. 5.1)
+    # ------------------------------------------------------------------ #
+    def boost(self, delta: float) -> float:
+        """Increase epsilon by ``delta`` (transient-fault recovery), capped at 1."""
+        if delta < 0:
+            raise ValueError(f"boost delta must be non-negative, got {delta}")
+        self._epsilon = min(1.0, self._epsilon + delta)
+        return self._epsilon
+
+    def restart(self, decay_slowdown: float = 1.0, start: Optional[float] = None) -> float:
+        """Revert to the initial exploration rate and slow the decay.
+
+        Permanent-fault recovery: the agent reverts epsilon to its initial
+        value and divides the decay *speed* by ``decay_slowdown`` (the paper
+        slows it by ``2**n`` after the n-th detection), i.e. the per-episode
+        decay factor moves closer to 1.
+        """
+        if decay_slowdown < 1.0:
+            raise ValueError(f"decay_slowdown must be >= 1, got {decay_slowdown}")
+        self._epsilon = self.start if start is None else min(1.0, start)
+        # Slowing the decay speed k-fold: epsilon(t) = start * d**(t/k)
+        # is equivalent to using a per-episode factor d**(1/k).
+        self._decay = self.base_decay ** (1.0 / decay_slowdown)
+        return self._epsilon
+
+    def reset(self) -> None:
+        """Full reset to the initial schedule (fresh training run)."""
+        self._epsilon = self.start
+        self._decay = self.base_decay
+        self._episodes = 0

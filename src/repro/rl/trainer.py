@@ -1,0 +1,154 @@
+"""Training loop with hook points for fault injection and mitigation.
+
+The fault-characterization experiments need to (a) corrupt agent memory at a
+specific episode or step during training, and (b) let a mitigation controller
+watch the reward stream and adjust exploration.  Both are expressed as
+:class:`TrainingHooks` so the training loop itself stays free of
+experiment-specific logic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from repro.rl.base import Agent, Transition
+
+__all__ = ["EpisodeRecord", "TrainingHooks", "TrainingResult", "train_agent"]
+
+
+@dataclass(frozen=True)
+class EpisodeRecord:
+    """Summary of one training episode."""
+
+    episode: int
+    total_reward: float
+    steps: int
+    success: bool
+    exploration_rate: float
+
+
+class TrainingHooks:
+    """Override any subset of these callbacks to observe or perturb training."""
+
+    def on_training_start(self, agent: Agent, env) -> None:
+        """Called once before the first episode."""
+
+    def on_episode_start(self, episode: int, agent: Agent, env) -> None:
+        """Called before each episode's first step."""
+
+    def on_step(
+        self, episode: int, step: int, agent: Agent, env, transition: Transition
+    ) -> None:
+        """Called after every environment step (post agent update)."""
+
+    def on_episode_end(self, episode: int, agent: Agent, env, record: EpisodeRecord) -> None:
+        """Called after each episode completes (post schedule step)."""
+
+    def on_training_end(self, agent: Agent, env, result: "TrainingResult") -> None:
+        """Called once after the last episode."""
+
+
+@dataclass
+class TrainingResult:
+    """Per-episode training history."""
+
+    records: List[EpisodeRecord] = field(default_factory=list)
+
+    @property
+    def episodes(self) -> int:
+        return len(self.records)
+
+    @property
+    def rewards(self) -> np.ndarray:
+        """Cumulative (episode-total) reward per episode."""
+        return np.array([r.total_reward for r in self.records], dtype=np.float64)
+
+    @property
+    def successes(self) -> np.ndarray:
+        """Boolean success flag per episode."""
+        return np.array([r.success for r in self.records], dtype=bool)
+
+    @property
+    def exploration_rates(self) -> np.ndarray:
+        return np.array([r.exploration_rate for r in self.records], dtype=np.float64)
+
+    def moving_average_reward(self, window: int = 50) -> np.ndarray:
+        """Moving average of episode rewards (useful for convergence checks)."""
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        rewards = self.rewards
+        if rewards.size == 0:
+            return rewards
+        window = min(window, rewards.size)
+        kernel = np.ones(window) / window
+        return np.convolve(rewards, kernel, mode="valid")
+
+    def success_rate(self, last_n: Optional[int] = None) -> float:
+        """Fraction of successful episodes (optionally over the last ``last_n``)."""
+        successes = self.successes
+        if successes.size == 0:
+            return 0.0
+        if last_n is not None:
+            successes = successes[-last_n:]
+        return float(successes.mean())
+
+
+def train_agent(
+    agent: Agent,
+    env,
+    episodes: int,
+    max_steps_per_episode: int = 200,
+    hooks: Iterable[TrainingHooks] = (),
+) -> TrainingResult:
+    """Run episodic training of ``agent`` on ``env``.
+
+    The environment must follow the small protocol of
+    :class:`repro.envs.base.Environment`: ``reset() -> state`` and
+    ``step(action) -> (next_state, reward, done, info)``, with ``info``
+    optionally carrying a boolean ``"success"`` entry.
+    """
+    if episodes <= 0:
+        raise ValueError(f"episodes must be positive, got {episodes}")
+    hooks = list(hooks)
+    result = TrainingResult()
+    for hook in hooks:
+        hook.on_training_start(agent, env)
+
+    for episode in range(episodes):
+        for hook in hooks:
+            hook.on_episode_start(episode, agent, env)
+        state = env.reset()
+        total_reward = 0.0
+        success = False
+        steps = 0
+        for step in range(max_steps_per_episode):
+            action = agent.select_action(state, explore=True)
+            next_state, reward, done, info = env.step(action)
+            transition = Transition(state, action, reward, next_state, done)
+            agent.observe(transition)
+            for hook in hooks:
+                hook.on_step(episode, step, agent, env, transition)
+            total_reward += reward
+            state = next_state
+            steps = step + 1
+            if done:
+                success = bool(info.get("success", False))
+                break
+        agent.end_episode()
+        record = EpisodeRecord(
+            episode=episode,
+            total_reward=total_reward,
+            steps=steps,
+            success=success,
+            exploration_rate=agent.exploration_rate,
+        )
+        result.records.append(record)
+        for hook in hooks:
+            hook.on_episode_end(episode, agent, env, record)
+
+    for hook in hooks:
+        hook.on_training_end(agent, env, result)
+    return result

@@ -1,0 +1,35 @@
+"""Shared pytest fixtures."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.envs import make_gridworld
+from repro.quant import Q8_GRID, Q16_NARROW, QTensor
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def grid_env():
+    """Middle-density Grid World with deterministic start."""
+    return make_gridworld("middle")
+
+
+@pytest.fixture
+def small_qtensor(rng) -> QTensor:
+    """A small 8-bit quantized tensor with varied values."""
+    values = rng.uniform(-6.0, 6.0, size=(4, 5))
+    return QTensor(values, Q8_GRID, name="test-buffer")
+
+
+@pytest.fixture
+def wide_qtensor(rng) -> QTensor:
+    """A 16-bit quantized tensor (weight-like values)."""
+    values = rng.normal(0.0, 0.5, size=(8, 8))
+    return QTensor(values, Q16_NARROW, name="weights")

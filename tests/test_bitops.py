@@ -1,0 +1,126 @@
+"""Tests for bit-level fault primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quant.bitops import (
+    apply_stuck_at,
+    clear_bits,
+    flip_bits,
+    random_bit_positions,
+    set_bits,
+)
+
+
+class TestFlipBits:
+    def test_single_flip(self):
+        raw = np.array([0b0000], dtype=np.int64)
+        out = flip_bits(raw, np.array([0]), np.array([2]), total_bits=8)
+        assert out[0] == 0b0100
+
+    def test_double_flip_same_bit_cancels(self):
+        raw = np.array([0b1010], dtype=np.int64)
+        out = flip_bits(raw, np.array([0, 0]), np.array([1, 1]), total_bits=8)
+        assert out[0] == 0b1010
+
+    def test_input_not_modified(self):
+        raw = np.array([1, 2, 3], dtype=np.int64)
+        flip_bits(raw, np.array([1]), np.array([0]), total_bits=8)
+        assert raw.tolist() == [1, 2, 3]
+
+    def test_flip_on_2d_array_uses_flat_indexing(self):
+        raw = np.zeros((2, 3), dtype=np.int64)
+        out = flip_bits(raw, np.array([4]), np.array([0]), total_bits=8)
+        assert out[1, 1] == 1
+
+    def test_out_of_range_bit_rejected(self):
+        raw = np.zeros(2, dtype=np.int64)
+        with pytest.raises(ValueError):
+            flip_bits(raw, np.array([0]), np.array([8]), total_bits=8)
+
+    def test_mismatched_shapes_rejected(self):
+        raw = np.zeros(2, dtype=np.int64)
+        with pytest.raises(ValueError):
+            flip_bits(raw, np.array([0, 1]), np.array([1]), total_bits=8)
+
+
+class TestStuckAt:
+    def test_set_bits(self):
+        raw = np.array([0b0000], dtype=np.int64)
+        out = set_bits(raw, np.array([0]), np.array([3]), total_bits=8)
+        assert out[0] == 0b1000
+
+    def test_clear_bits(self):
+        raw = np.array([0b1111], dtype=np.int64)
+        out = clear_bits(raw, np.array([0]), np.array([1]), total_bits=8)
+        assert out[0] == 0b1101
+
+    def test_stuck_at_idempotent(self):
+        raw = np.array([0b0101], dtype=np.int64)
+        once = apply_stuck_at(raw, np.array([0]), np.array([1]), 1, total_bits=8)
+        twice = apply_stuck_at(once, np.array([0]), np.array([1]), 1, total_bits=8)
+        assert np.array_equal(once, twice)
+
+    def test_stuck_at_invalid_value(self):
+        raw = np.zeros(1, dtype=np.int64)
+        with pytest.raises(ValueError):
+            apply_stuck_at(raw, np.array([0]), np.array([0]), 2, total_bits=8)
+
+
+class TestRandomBitPositions:
+    def test_zero_ber_gives_no_faults(self, rng):
+        elements, bits = random_bit_positions(100, 8, 0.0, rng)
+        assert elements.size == 0 and bits.size == 0
+
+    def test_full_ber_faults_every_bit(self, rng):
+        elements, bits = random_bit_positions(10, 8, 1.0, rng)
+        assert elements.size == 80
+        # Each (element, bit) pair is unique.
+        assert len({(e, b) for e, b in zip(elements.tolist(), bits.tolist())}) == 80
+
+    def test_expected_count_approximate(self, rng):
+        counts = [random_bit_positions(1000, 8, 0.01, rng)[0].size for _ in range(50)]
+        assert 60 <= np.mean(counts) * 1 <= 100  # expectation is 80 faults
+
+    def test_invalid_ber_rejected(self, rng):
+        with pytest.raises(ValueError):
+            random_bit_positions(10, 8, 1.5, rng)
+
+    def test_max_faults_cap(self, rng):
+        elements, _ = random_bit_positions(100, 8, 1.0, rng, max_faults=5)
+        assert elements.size == 5
+
+    def test_bit_positions_within_word(self, rng):
+        _, bits = random_bit_positions(50, 12, 0.5, rng)
+        assert bits.min() >= 0 and bits.max() < 12
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    words=st.lists(st.integers(min_value=0, max_value=255), min_size=1, max_size=16),
+    bit=st.integers(min_value=0, max_value=7),
+)
+def test_property_flip_twice_is_identity(words, bit):
+    raw = np.array(words, dtype=np.int64)
+    idx = np.array([len(words) // 2])
+    bits = np.array([bit])
+    flipped = flip_bits(raw, idx, bits, total_bits=8)
+    restored = flip_bits(flipped, idx, bits, total_bits=8)
+    assert np.array_equal(restored, raw)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    words=st.lists(st.integers(min_value=0, max_value=255), min_size=1, max_size=16),
+    bit=st.integers(min_value=0, max_value=7),
+    stuck=st.integers(min_value=0, max_value=1),
+)
+def test_property_stuck_at_forces_bit(words, bit, stuck):
+    raw = np.array(words, dtype=np.int64)
+    idx = np.arange(len(words))
+    bits = np.full(len(words), bit)
+    out = apply_stuck_at(raw, idx, bits, stuck, total_bits=8)
+    observed = (out >> bit) & 1
+    assert np.all(observed == stuck)

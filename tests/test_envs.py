@@ -1,0 +1,302 @@
+"""Tests for the Grid World and drone environments."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.envs import (
+    HIGH_DENSITY,
+    LOW_DENSITY,
+    MIDDLE_DENSITY,
+    GridLayout,
+    GridWorld,
+    make_drone_env,
+    make_gridworld,
+)
+from repro.envs.drone import ActionSpace25, CorridorWorld, DepthCamera, Rect, indoor_long, indoor_vanleer
+from repro.envs.drone.expert import GreedyDepthExpert, collect_dataset
+from repro.envs.gridworld import ACTION_DELTAS, GOAL, HELL
+
+
+class TestGridLayouts:
+    def test_all_layouts_have_path(self):
+        for density in ("low", "middle", "high"):
+            env = make_gridworld(density)
+            assert env.shortest_path_length() > 0
+
+    def test_density_ordering(self):
+        assert (
+            LOW_DENSITY.obstacle_density()
+            < MIDDLE_DENSITY.obstacle_density()
+            < HIGH_DENSITY.obstacle_density()
+        )
+
+    def test_layout_validation(self):
+        with pytest.raises(ValueError):
+            GridLayout("bad", ("S.", "G"))  # ragged
+        with pytest.raises(ValueError):
+            GridLayout("bad", ("S.", ".."))  # no goal
+        with pytest.raises(ValueError):
+            GridLayout("bad", ("SG", "X."))  # invalid symbol
+
+    def test_find_and_cell(self):
+        assert MIDDLE_DENSITY.find("S") == (0, 0)
+        assert MIDDLE_DENSITY.cell(9, 9) == GOAL
+
+    def test_unknown_density_rejected(self):
+        with pytest.raises(ValueError):
+            make_gridworld("extreme")
+
+
+class TestGridWorldDynamics:
+    def test_reset_returns_source(self, grid_env):
+        assert grid_env.reset() == grid_env.source_state
+
+    def test_step_moves_agent(self, grid_env):
+        grid_env.reset()
+        state, reward, done, info = grid_env.step(3)  # right
+        assert state == 1
+        assert reward == 0.0
+        assert not done
+
+    def test_boundary_bump_keeps_position(self, grid_env):
+        grid_env.reset()
+        state, reward, done, _ = grid_env.step(0)  # up from row 0
+        assert state == grid_env.source_state
+        assert not done
+
+    def test_bump_reward_applied(self):
+        env = make_gridworld("middle", bump_reward=-0.5)
+        env.reset()
+        _, reward, _, _ = env.step(0)
+        assert reward == -0.5
+
+    def test_goal_gives_positive_reward_and_success(self):
+        env = make_gridworld("middle")
+        env.reset()
+        # Walk along a path found by BFS to reach the goal.
+        from collections import deque
+
+        start, goal = (0, 0), (9, 9)
+        parents = {start: None}
+        queue = deque([start])
+        while queue:
+            cell = queue.popleft()
+            if cell == goal:
+                break
+            for action, (dr, dc) in ACTION_DELTAS.items():
+                nxt = (cell[0] + dr, cell[1] + dc)
+                if not (0 <= nxt[0] < 10 and 0 <= nxt[1] < 10):
+                    continue
+                if nxt in parents or env.layout.cell(*nxt) == HELL:
+                    continue
+                parents[nxt] = (cell, action)
+                queue.append(nxt)
+        actions = []
+        cell = goal
+        while parents[cell] is not None:
+            cell, action = parents[cell]
+            actions.append(action)
+        for action in reversed(actions):
+            state, reward, done, info = env.step(action)
+        assert done and info["success"] and reward == 1.0
+
+    def test_hell_terminates_with_negative_reward(self):
+        env = make_gridworld("middle")
+        env.reset()
+        env.step(3)  # (0,1)
+        env.step(1)  # (1,1)
+        _, reward, done, info = env.step(3)  # (1,2) is hell
+        assert done and reward == -1.0 and not info["success"]
+
+    def test_invalid_action_rejected(self, grid_env):
+        grid_env.reset()
+        with pytest.raises(ValueError):
+            grid_env.step(7)
+
+    def test_one_hot_encoding(self, grid_env):
+        encoded = grid_env.one_hot(42)
+        assert encoded.shape == (100,)
+        assert encoded.sum() == 1.0 and encoded[42] == 1.0
+
+    def test_random_start_varies(self, rng):
+        env = make_gridworld("middle", random_start=True, rng=rng)
+        starts = {env.reset() for _ in range(30)}
+        assert len(starts) > 3
+        for start in starts:
+            row, col = env.position_of(start)
+            assert env.layout.cell(row, col) != HELL
+
+    def test_state_index_round_trip(self, grid_env):
+        for state in (0, 37, 99):
+            assert grid_env.state_index(grid_env.position_of(state)) == state
+        with pytest.raises(ValueError):
+            grid_env.position_of(100)
+
+    def test_render_marks_agent(self, grid_env):
+        grid_env.reset()
+        assert "A" in grid_env.render()
+
+
+class TestCorridorWorld:
+    def test_rect_validation(self):
+        with pytest.raises(ValueError):
+            Rect(1.0, 1.0, 1.0, 2.0)
+
+    def test_rect_contains_with_margin(self):
+        rect = Rect(0, 0, 1, 1)
+        assert rect.contains(1.2, 0.5, margin=0.3)
+        assert not rect.contains(1.2, 0.5, margin=0.1)
+
+    def test_ray_hits_rectangle(self):
+        rect = Rect(5, -1, 6, 1)
+        assert rect.ray_intersection(0, 0, 1, 0) == pytest.approx(5.0)
+        assert rect.ray_intersection(0, 0, -1, 0) is None
+        assert rect.ray_intersection(0, 5, 1, 0) is None
+
+    def test_boundary_distance(self):
+        world = indoor_long()
+        # Looking straight down the corridor from the start.
+        distance = world.ray_distance(2.0, 3.0, 0.0, max_range=200.0)
+        assert distance <= world.length
+
+    def test_is_free_and_clearance(self):
+        world = indoor_vanleer()
+        assert world.is_free(2.0, 3.0)
+        assert not world.is_free(9.5, 1.0)  # inside the first obstacle
+        assert world.clearance(2.0, 3.0) > 0
+
+    def test_start_pose_must_be_free(self):
+        with pytest.raises(ValueError):
+            CorridorWorld(10, 5, [Rect(0, 0, 5, 5)], start_pose=(1, 1, 0))
+
+
+class TestCameraAndActions:
+    def test_image_shape(self):
+        camera = DepthCamera(width=16, height=12)
+        world = indoor_long()
+        image = camera.render(world, 2.0, 3.0, 0.0)
+        assert image.shape == (1, 12, 16)
+        assert image.min() >= 0.0 and image.max() <= 1.0
+
+    def test_close_obstacle_brighter_than_far(self):
+        camera = DepthCamera(width=8, height=8, max_range=20.0)
+        world = indoor_long()
+        near = camera.render(world, 11.0, 1.0, 0.0)  # right in front of an obstacle
+        far = camera.render(world, 2.0, 3.0, 0.0)
+        assert near.mean() > far.mean()
+
+    def test_camera_validation(self):
+        with pytest.raises(ValueError):
+            DepthCamera(width=1)
+        with pytest.raises(ValueError):
+            DepthCamera(fov_degrees=200)
+
+    def test_action_space_commands(self):
+        actions = ActionSpace25()
+        assert actions.n_actions == 25
+        yaw, forward = actions.command(actions.straight_action)
+        assert yaw == pytest.approx(0.0)
+        assert forward == 1.0
+        left_yaw, _ = actions.command(0)
+        right_yaw, _ = actions.command(24)
+        assert left_yaw > 0 > right_yaw
+        with pytest.raises(ValueError):
+            actions.command(25)
+
+
+class TestDroneEnv:
+    def test_reset_observation_shape(self):
+        env = make_drone_env("indoor-long", image_size=24)
+        state = env.reset()
+        assert state.shape == (1, 24, 24)
+
+    def test_straight_flight_accumulates_distance(self):
+        env = make_drone_env("indoor-long", image_size=24)
+        env.reset()
+        total = 0.0
+        for _ in range(10):
+            _, reward, done, info = env.step(env.actions.straight_action)
+            total = info["flight_distance"]
+            if done:
+                break
+        assert total > 5.0
+
+    def test_collision_terminates(self):
+        env = make_drone_env("indoor-vanleer", image_size=24)
+        env.reset()
+        done = False
+        for _ in range(200):
+            _, reward, done, info = env.step(env.actions.straight_action)
+            if done:
+                break
+        assert done
+
+    def test_stall_detection_ends_episode(self):
+        env = make_drone_env("indoor-long", image_size=24, stall_window=6, stall_distance=2.0)
+        env.reset()
+        done = False
+        # Hard-left turns make the drone circle in place.
+        for _ in range(60):
+            _, _, done, info = env.step(0)
+            if done:
+                break
+        assert done
+        assert info["flight_distance"] < 30.0
+
+    def test_invalid_environment_name(self):
+        with pytest.raises(ValueError):
+            make_drone_env("indoor-unknown")
+
+    def test_unknown_action_rejected(self):
+        env = make_drone_env("indoor-long", image_size=24)
+        env.reset()
+        with pytest.raises(ValueError):
+            env.step(99)
+
+
+class TestDroneExpert:
+    def test_expert_scores_shape_and_range(self):
+        env = make_drone_env("indoor-long", image_size=24)
+        env.reset()
+        expert = GreedyDepthExpert(env)
+        scores = expert.action_scores()
+        assert scores.shape == (25,)
+        assert scores.min() >= 0.0
+
+    def test_expert_flies_reasonably_far(self):
+        env = make_drone_env("indoor-long", image_size=24)
+        expert = GreedyDepthExpert(env)
+        env.reset()
+        distance = 0.0
+        for _ in range(150):
+            _, _, done, info = env.step(expert.select_action())
+            distance = info["flight_distance"]
+            if done:
+                break
+        assert distance > 30.0
+
+    def test_collect_dataset_shapes(self, rng):
+        env = make_drone_env("indoor-long", image_size=24)
+        expert = GreedyDepthExpert(env)
+        images, targets = collect_dataset(env, expert, 12, rng)
+        assert images.shape == (12, 1, 24, 24)
+        assert targets.shape == (12, 25)
+
+    def test_collect_dataset_invalid_count(self, rng):
+        env = make_drone_env("indoor-long", image_size=24)
+        with pytest.raises(ValueError):
+            collect_dataset(env, GreedyDepthExpert(env), 0, rng)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    x=st.floats(min_value=0.5, max_value=99.5),
+    y=st.floats(min_value=0.5, max_value=5.5),
+    angle=st.floats(min_value=-np.pi, max_value=np.pi),
+)
+def test_property_ray_distance_nonnegative_and_bounded(x, y, angle):
+    world = indoor_long()
+    distance = world.ray_distance(x, y, angle, max_range=25.0)
+    assert 0.0 <= distance <= 25.0

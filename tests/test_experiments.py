@@ -1,0 +1,217 @@
+"""Integration tests for the experiment drivers (fast presets).
+
+These use the heavily reduced ``fast()`` configs, so they check that every
+driver runs end-to-end and produces the expected table schema, not that the
+resulting numbers match the paper (that is the benchmarks' job).
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    DroneConfig,
+    ExperimentScale,
+    GridNNConfig,
+    GridTabularConfig,
+    get_scale,
+)
+from repro.experiments import config as config_module
+from repro.experiments import (
+    fig2_training,
+    fig3_return_curves,
+    fig4_convergence,
+    fig5_inference,
+    fig7_drone,
+    fig8_mitigation_training,
+    fig9_exploration,
+    fig10_anomaly,
+    summary,
+)
+from repro.experiments.common import build_drone_bundle, clear_drone_cache, greedy_policy, train_tabular
+from repro.io.results import ResultTable
+
+
+@pytest.fixture(scope="module")
+def fast_tabular():
+    return GridTabularConfig.fast()
+
+
+@pytest.fixture(scope="module")
+def fast_nn():
+    return GridNNConfig.fast()
+
+
+@pytest.fixture(scope="module")
+def fast_drone():
+    return DroneConfig.fast()
+
+
+@pytest.fixture(scope="module")
+def drone_bundle(fast_drone):
+    bundle = build_drone_bundle(fast_drone, seed=0)
+    yield bundle
+    clear_drone_cache()
+
+
+class TestConfig:
+    def test_scale_from_environment(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert get_scale() is ExperimentScale.SMALL
+        monkeypatch.setenv("REPRO_SCALE", "paper")
+        assert get_scale() is ExperimentScale.PAPER
+        monkeypatch.setenv("REPRO_SCALE", "bogus")
+        with pytest.raises(ValueError):
+            get_scale()
+
+    def test_sweeps_depend_on_scale(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "small")
+        small = config_module.grid_ber_sweep()
+        monkeypatch.setenv("REPRO_SCALE", "paper")
+        paper = config_module.grid_ber_sweep()
+        assert len(paper) > len(small)
+        assert len(config_module.injection_episodes(1000)) == 11
+
+    def test_fast_presets_are_smaller(self):
+        assert GridTabularConfig.fast().episodes < GridTabularConfig().episodes
+        assert GridNNConfig.fast().episodes < GridNNConfig().episodes
+        assert DroneConfig.fast().pretrain_epochs < DroneConfig().pretrain_epochs
+
+
+class TestGridWorldDrivers:
+    def test_fig2_transient_schema(self, fast_tabular):
+        table = fig2_training.run_transient_training_heatmap(
+            fast_tabular, [0.0, 0.01], [0, 100], repetitions=1
+        )
+        assert len(table) == 4
+        assert set(table.columns) >= {"bit_error_rate", "injection_episode", "success_rate"}
+        matrix = fig2_training.heatmap_matrix(table, [0.0, 0.01], [0, 100])
+        assert matrix.shape == (2, 2)
+        assert not np.isnan(matrix).any()
+
+    def test_fig2_permanent_schema(self, fast_tabular):
+        table = fig2_training.run_permanent_training_sweep(fast_tabular, [0.01], repetitions=1)
+        fault_types = set(table.column("fault_type"))
+        assert fault_types == {"stuck-at-0", "stuck-at-1"}
+
+    def test_fig2_histograms(self, fast_tabular, fast_nn):
+        table = fig2_training.run_value_histograms(fast_tabular, fast_nn, seed=1)
+        assert len(table) == 2
+        for row in table.rows:
+            assert 0.0 < row["zero_fraction"] < 1.0
+
+    def test_fig3_curves(self, fast_tabular):
+        scenarios = fig3_return_curves.default_scenarios(fast_tabular.episodes, "tabular")[:2]
+        series = fig3_return_curves.run_return_curves(fast_tabular, scenarios, seed=2)
+        assert len(series.series) == 2
+        assert all(len(v) == len(series.x_values) for v in series.series.values())
+
+    def test_fig3_recovery_metric(self):
+        curve = [1.0] * 10 + [0.0] * 5 + [0.95] * 5
+        assert fig3_return_curves.recovery_episodes(curve, 10) == 5
+        assert fig3_return_curves.recovery_episodes([1.0] * 5 + [0.0] * 5, 5) is None
+        with pytest.raises(ValueError):
+            fig3_return_curves.recovery_episodes(curve, 100)
+
+    def test_fig4_transient_convergence(self, fast_tabular):
+        table = fig4_convergence.run_transient_convergence(
+            fast_tabular, [0.0, 0.01], extra_episodes=60, repetitions=1
+        )
+        assert len(table) == 2
+        assert all(row["episodes_to_converge"] >= 0 for row in table.rows)
+
+    def test_fig4_permanent_extra_training(self, fast_tabular):
+        table = fig4_convergence.run_permanent_extra_training(
+            fast_tabular, [0.01], extra_episode_grid=(50,), repetitions=1
+        )
+        assert len(table) == 2
+
+    def test_fig5_inference_modes(self, fast_tabular):
+        table = fig5_inference.run_inference_fault_sweep(
+            fast_tabular, [0.01], fault_modes=("transient-1", "transient-m"),
+            repetitions=1, episodes_per_trial=2,
+        )
+        modes = set(table.column("fault_mode"))
+        assert modes == {"baseline", "transient-1", "transient-m"}
+
+    def test_fig5_rejects_unknown_mode(self, fast_tabular):
+        with pytest.raises(ValueError):
+            fig5_inference.run_inference_fault_sweep(fast_tabular, [0.01], fault_modes=("bogus",))
+
+    def test_fig8_mitigated_heatmap(self, fast_tabular):
+        table = fig8_mitigation_training.run_mitigated_transient_heatmap(
+            fast_tabular, [0.01], [50], mitigation=True, repetitions=1
+        )
+        assert table.rows[0]["mitigation"] is True
+
+    def test_fig9_exploration_sweep(self, fast_tabular):
+        table = fig9_exploration.run_exploration_adjustment_sweep(
+            fast_tabular, [0.01], fault_types=("transient",), repetitions=1
+        )
+        assert "adjusted_exploration_ratio" in table.columns
+        assert "episodes_to_steady" in table.columns
+
+    def test_fig9_recovery_correlation(self, fast_tabular):
+        table = fig9_exploration.run_recovery_speed_correlation(
+            fast_tabular, exploration_boosts=(0.5,), repetitions=1
+        )
+        assert len(table) == 1
+
+    def test_fig10_gridworld(self, fast_nn):
+        table = fig10_anomaly.run_gridworld_anomaly_mitigation(
+            fast_nn, [0.0, 0.01], repetitions=1, episodes_per_trial=1
+        )
+        assert len(table) == 4
+        assert set(table.column("mitigation")) == {True, False}
+
+    def test_summary_gain_table(self):
+        table = ResultTable(title="t")
+        table.add(mitigation=False, bit_error_rate=0.01, success_rate=0.4)
+        table.add(mitigation=True, bit_error_rate=0.01, success_rate=0.8)
+        gains = summary.summarize_mitigation_gains(table, "success_rate")
+        assert gains.rows[0]["improvement_factor"] == pytest.approx(2.0)
+
+
+class TestDroneDrivers:
+    def test_bundle_is_cached(self, fast_drone, drone_bundle):
+        again = build_drone_bundle(fast_drone, seed=0)
+        assert again is drone_bundle
+
+    def test_fig7b_environments(self, fast_drone, drone_bundle):
+        table = fig7_drone.run_environment_comparison(fast_drone, [0.0, 1e-2], repetitions=1)
+        assert set(table.column("environment")) == {"indoor-long", "indoor-vanleer"}
+        assert all(row["mean_safe_flight"] >= 0 for row in table.rows)
+
+    def test_fig7c_locations(self, fast_drone, drone_bundle):
+        table = fig7_drone.run_fault_location_sweep(fast_drone, [1e-2], repetitions=1)
+        assert set(table.column("location")) == {
+            "input",
+            "weight",
+            "activation-transient",
+            "activation-permanent",
+        }
+
+    def test_fig7d_layers(self, fast_drone, drone_bundle):
+        table = fig7_drone.run_layer_sweep(fast_drone, [1e-2], layers=("conv1", "fc2"), repetitions=1)
+        assert set(table.column("layer")) == {"conv1", "fc2"}
+
+    def test_fig7e_datatypes(self, fast_drone, drone_bundle):
+        table = fig7_drone.run_datatype_sweep(fast_drone, [1e-2], repetitions=1)
+        assert len(set(table.column("qformat"))) == 3
+
+    def test_fig7a_training(self, fast_drone, drone_bundle):
+        table = fig7_drone.run_drone_training_faults(fast_drone, [0.0, 1e-2], repetitions=1)
+        assert set(table.column("fault_type")) == {"transient", "stuck-at-0", "stuck-at-1"}
+
+    def test_fig10b_drone(self, fast_drone, drone_bundle):
+        table = fig10_anomaly.run_drone_anomaly_mitigation(fast_drone, [0.0, 1e-2], repetitions=1)
+        assert len(table) == 4
+
+
+class TestCleanBaseline:
+    def test_tabular_default_config_converges(self):
+        config = GridTabularConfig(episodes=500, eval_trials=10)
+        agent, eval_env, _ = train_tabular(config, np.random.default_rng(0))
+        from repro.experiments.common import evaluate_grid_policy
+
+        rate = evaluate_grid_policy(greedy_policy(agent), eval_env, 10, max_steps=100)
+        assert rate >= 0.9

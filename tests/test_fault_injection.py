@@ -1,0 +1,273 @@
+"""Tests for the fault-injection tool-chain (models, sites, injector, campaigns)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ActivationFaultInjector,
+    BufferSelector,
+    Campaign,
+    FaultInjector,
+    FaultPattern,
+    FaultType,
+    InputFaultInjector,
+    PermanentTrainingFaultHook,
+    StuckAtFault,
+    TransientBitFlip,
+    TransientTrainingFaultHook,
+    TrialOutcome,
+    make_fault_model,
+)
+from repro.core.campaign import default_repetitions
+from repro.core.injector import inject_weight_faults
+from repro.envs import make_gridworld
+from repro.nn.buffers import QuantizedExecutor
+from repro.policies import build_grid_q_network
+from repro.quant import Q8_GRID, Q16_NARROW, QTensor
+from repro.rl import ConstantSchedule, TabularQAgent, train_agent
+from repro.rl.dqn import DQNAgent
+
+
+class TestFaultModels:
+    def test_fault_type_properties(self):
+        assert not FaultType.TRANSIENT.is_permanent
+        assert FaultType.STUCK_AT_0.is_permanent
+        assert FaultType.STUCK_AT_1.is_permanent
+
+    def test_factory(self):
+        assert isinstance(make_fault_model("transient", 0.1), TransientBitFlip)
+        assert make_fault_model("stuck-at-1", 0.1).stuck_value == 1
+        assert make_fault_model(FaultType.STUCK_AT_0, 0.1).stuck_value == 0
+
+    def test_invalid_ber_rejected(self):
+        with pytest.raises(ValueError):
+            TransientBitFlip(1.5)
+        with pytest.raises(ValueError):
+            StuckAtFault(0.1, stuck_value=3)
+
+    def test_transient_injection_changes_bits(self, wide_qtensor, rng):
+        before = wide_qtensor.raw
+        pattern = TransientBitFlip(0.2).inject(wide_qtensor, rng)
+        assert pattern.num_faults > 0
+        assert not np.array_equal(wide_qtensor.raw, before)
+        assert not pattern.is_permanent
+
+    def test_stuck_at_pattern_reapplication_idempotent(self, wide_qtensor, rng):
+        model = StuckAtFault(0.3, stuck_value=1)
+        pattern = model.inject(wide_qtensor, rng)
+        after_first = wide_qtensor.raw
+        pattern.apply(wide_qtensor)
+        assert np.array_equal(wide_qtensor.raw, after_first)
+        assert pattern.is_permanent
+
+    def test_zero_ber_injects_nothing(self, wide_qtensor, rng):
+        before = wide_qtensor.raw
+        pattern = TransientBitFlip(0.0).inject(wide_qtensor, rng)
+        assert pattern.num_faults == 0
+        assert np.array_equal(wide_qtensor.raw, before)
+
+
+class TestFaultPatternAndSelector:
+    def test_pattern_validation(self):
+        with pytest.raises(ValueError):
+            FaultPattern("buf", np.array([0, 1]), np.array([0]), None)
+        with pytest.raises(ValueError):
+            FaultPattern("buf", np.array([0]), np.array([0]), stuck_value=5)
+
+    def test_pattern_out_of_range_element(self):
+        tensor = QTensor.zeros((2,), Q8_GRID, name="buf")
+        pattern = FaultPattern("buf", np.array([5]), np.array([0]), None)
+        with pytest.raises(ValueError):
+            pattern.apply(tensor)
+
+    def test_pattern_describe(self):
+        pattern = FaultPattern("buf", np.array([0]), np.array([1]), stuck_value=1)
+        info = pattern.describe()
+        assert info["kind"] == "stuck-at-1" and info["num_faults"] == 1
+
+    def test_selector_by_prefix_and_layer(self):
+        buffers = {
+            "weight:fc1.weight": QTensor.zeros((2, 2), Q8_GRID),
+            "weight:fc2.weight": QTensor.zeros((2, 2), Q8_GRID),
+            "activation:fc1": QTensor.zeros((2,), Q8_GRID),
+        }
+        assert set(BufferSelector.all_weights().select(buffers)) == {
+            "weight:fc1.weight",
+            "weight:fc2.weight",
+        }
+        assert set(BufferSelector.for_layer("fc1").select(buffers)) == {
+            "weight:fc1.weight",
+            "activation:fc1",
+        }
+        assert set(BufferSelector.by_name("activation:fc1").select(buffers)) == {
+            "activation:fc1"
+        }
+        assert len(BufferSelector().select(buffers)) == 3
+
+    def test_selector_no_match_raises(self):
+        buffers = {"qtable": QTensor.zeros((2, 2), Q8_GRID)}
+        with pytest.raises(ValueError):
+            BufferSelector.by_name("missing").select(buffers)
+
+    def test_selector_predicate(self):
+        selector = BufferSelector(predicate=lambda name: name.endswith(".bias"))
+        assert selector.matches("weight:fc1.bias")
+        assert not selector.matches("weight:fc1.weight")
+
+
+class TestFaultInjector:
+    def test_inject_into_tabular_agent(self, rng):
+        agent = TabularQAgent(10, 4, rng=rng)
+        injector = FaultInjector(rng)
+        patterns = injector.inject(agent, StuckAtFault(0.2, stuck_value=1))
+        assert len(patterns) == 1
+        assert np.any(agent.memory_buffers()["qtable"].raw != 0)
+
+    def test_sample_then_reapply(self, rng):
+        agent = TabularQAgent(10, 4, rng=rng)
+        injector = FaultInjector(rng)
+        patterns = injector.sample(agent, StuckAtFault(0.2, stuck_value=1))
+        assert np.all(agent.memory_buffers()["qtable"].raw == 0)
+        injector.reapply(agent, patterns)
+        assert np.any(agent.memory_buffers()["qtable"].raw != 0)
+
+    def test_reapply_unknown_buffer_raises(self, rng):
+        agent = TabularQAgent(4, 2, rng=rng)
+        injector = FaultInjector(rng)
+        bad = FaultPattern("nonexistent", np.array([0]), np.array([0]), 1)
+        with pytest.raises(KeyError):
+            injector.reapply(agent, [bad])
+
+
+class TestTrainingHooks:
+    def test_transient_hook_fires_once_at_episode(self, rng):
+        env = make_gridworld("low", rng=rng)
+        agent = TabularQAgent(env.n_states, env.n_actions, schedule=ConstantSchedule(0.5), rng=rng)
+        hook = TransientTrainingFaultHook(0.05, inject_episode=2, rng=rng)
+        train_agent(agent, env, episodes=5, max_steps_per_episode=10, hooks=[hook])
+        assert hook.has_injected
+        assert sum(p.num_faults for p in hook.injected_patterns) > 0
+
+    def test_transient_hook_step_level_injection(self, rng):
+        env = make_gridworld("low", rng=rng)
+        agent = TabularQAgent(env.n_states, env.n_actions, schedule=ConstantSchedule(0.5), rng=rng)
+        hook = TransientTrainingFaultHook(0.05, inject_episode=1, inject_step=2, rng=rng)
+        train_agent(agent, env, episodes=3, max_steps_per_episode=10, hooks=[hook])
+        assert hook.has_injected
+
+    def test_permanent_hook_keeps_bits_stuck(self, rng):
+        env = make_gridworld("low", rng=rng)
+        agent = TabularQAgent(env.n_states, env.n_actions, schedule=ConstantSchedule(0.5), rng=rng)
+        hook = PermanentTrainingFaultHook(0.1, stuck_value=1, rng=rng)
+        train_agent(agent, env, episodes=4, max_steps_per_episode=10, hooks=[hook])
+        pattern = hook.patterns[0]
+        raw = agent.memory_buffers()["qtable"].raw.reshape(-1)
+        observed = (raw[pattern.element_indices] >> pattern.bit_positions) & 1
+        assert np.all(observed == 1)
+
+    def test_invalid_episode_rejected(self):
+        with pytest.raises(ValueError):
+            TransientTrainingFaultHook(0.1, inject_episode=-1)
+
+
+class TestInferenceInjectors:
+    def make_executor(self, rng):
+        net = build_grid_q_network(10, 4, hidden_sizes=(8,), rng=rng)
+        return QuantizedExecutor(net, Q16_NARROW)
+
+    def test_inject_weight_faults_and_restore(self, rng):
+        executor = self.make_executor(rng)
+        clean = executor.network.state_dict()
+        patterns = inject_weight_faults(executor, TransientBitFlip(0.05), rng=rng)
+        assert sum(p.num_faults for p in patterns) > 0
+        executor.restore_clean_weights()
+        for key, value in executor.network.state_dict().items():
+            assert np.allclose(value, clean[key])
+
+    def test_weight_fault_selector_limits_layers(self, rng):
+        executor = self.make_executor(rng)
+        clean = executor.network.state_dict()
+        inject_weight_faults(
+            executor,
+            TransientBitFlip(0.3),
+            selector=BufferSelector.for_layer("fc2"),
+            rng=rng,
+        )
+        state = executor.network.state_dict()
+        assert np.allclose(state["fc1.weight"], clean["fc1.weight"], atol=1e-3)
+        assert not np.allclose(state["fc2.weight"], clean["fc2.weight"], atol=1e-6)
+
+    def test_activation_injector_transient(self, rng):
+        executor = self.make_executor(rng)
+        injector = ActivationFaultInjector(TransientBitFlip(0.3), layer_names=["fc2"], rng=rng)
+        executor.activation_hooks.append(injector)
+        executor.forward(np.eye(10)[:1])
+        assert injector.injection_count == 1
+
+    def test_activation_injector_permanent_requires_stuck_model(self, rng):
+        with pytest.raises(ValueError):
+            ActivationFaultInjector(TransientBitFlip(0.1), mode="permanent", rng=rng)
+        with pytest.raises(ValueError):
+            ActivationFaultInjector(TransientBitFlip(0.1), mode="bogus", rng=rng)
+
+    def test_input_injector_only_hits_input(self, rng):
+        executor = self.make_executor(rng)
+        injector = InputFaultInjector(TransientBitFlip(0.3), rng=rng)
+        executor.input_hooks.append(injector)
+        executor.activation_hooks.append(injector)  # should ignore layer buffers
+        executor.forward(np.eye(10)[:1])
+        assert injector.injection_count == 1
+
+
+class TestCampaign:
+    def test_campaign_aggregates_success(self):
+        campaign = Campaign("test", repetitions=20, seed=3)
+
+        def trial(rng):
+            return TrialOutcome(success=bool(rng.random() < 0.5), metric=1.0)
+
+        result = campaign.run(trial)
+        assert result.repetitions == 20
+        assert 0.0 <= result.success_rate <= 1.0
+        low, high = result.success_confidence()
+        assert 0.0 <= low <= result.success_rate <= high <= 1.0
+
+    def test_campaign_is_reproducible(self):
+        def trial(rng):
+            return TrialOutcome(metric=float(rng.random()))
+
+        first = Campaign("a", 5, seed=9).run(trial)
+        second = Campaign("a", 5, seed=9).run(trial)
+        assert first.metrics.tolist() == second.metrics.tolist()
+
+    def test_campaign_rejects_bad_trial(self):
+        campaign = Campaign("bad", 2)
+        with pytest.raises(TypeError):
+            campaign.run(lambda rng: 42)
+
+    def test_campaign_validation(self):
+        with pytest.raises(ValueError):
+            Campaign("x", 0)
+
+    def test_result_without_metrics_raises(self):
+        campaign = Campaign("x", 3)
+        result = campaign.run(lambda rng: TrialOutcome(success=True))
+        with pytest.raises(ValueError):
+            _ = result.mean_metric
+        assert result.success_rate == 1.0
+
+    def test_extras_mean(self):
+        campaign = Campaign("x", 4)
+        result = campaign.run(lambda rng: TrialOutcome(metric=1.0, extras={"steps": 2.0}))
+        assert result.extras_mean("steps") == 2.0
+        with pytest.raises(KeyError):
+            result.extras_mean("missing")
+
+    def test_default_repetitions_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CAMPAIGN_REPS", "7")
+        assert default_repetitions(100) == 7
+        monkeypatch.setenv("REPRO_CAMPAIGN_REPS", "bogus")
+        with pytest.raises(ValueError):
+            default_repetitions(100)
+        monkeypatch.delenv("REPRO_CAMPAIGN_REPS")
+        assert default_repetitions(100) == 100

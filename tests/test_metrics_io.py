@@ -1,0 +1,178 @@
+"""Tests for metrics, statistics and result I/O."""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.io import ResultTable, SeriesResult, render_heatmap, render_table
+from repro.metrics import (
+    episodes_to_converge,
+    mean_confidence_interval,
+    mean_safe_flight,
+    quality_of_flight_improvement,
+    required_trials,
+    success_rate,
+    wilson_confidence_interval,
+)
+from repro.metrics.navigation import cumulative_reward
+
+
+class TestNavigationMetrics:
+    def test_success_rate(self):
+        assert success_rate([True, False, True, True]) == 0.75
+        with pytest.raises(ValueError):
+            success_rate([])
+
+    def test_cumulative_reward(self):
+        assert cumulative_reward([1.0, -0.5, 0.25]) == 0.75
+
+    def test_mean_safe_flight(self):
+        assert mean_safe_flight([100.0, 50.0]) == 75.0
+        with pytest.raises(ValueError):
+            mean_safe_flight([])
+        with pytest.raises(ValueError):
+            mean_safe_flight([-1.0])
+
+    def test_qof_improvement(self):
+        assert quality_of_flight_improvement(100.0, 139.0) == pytest.approx(0.39)
+        with pytest.raises(ValueError):
+            quality_of_flight_improvement(0.0, 1.0)
+
+    def test_episodes_to_converge(self):
+        history = [False] * 50 + [True] * 100
+        assert episodes_to_converge(history, threshold=0.95, window=20) == 69
+        assert episodes_to_converge([False] * 100, window=20) is None
+        with pytest.raises(ValueError):
+            episodes_to_converge(history, threshold=0.0)
+        with pytest.raises(ValueError):
+            episodes_to_converge(history, window=0)
+
+
+class TestStatistics:
+    def test_wilson_interval_contains_proportion(self):
+        low, high = wilson_confidence_interval(80, 100)
+        assert low < 0.8 < high
+        assert 0.0 <= low and high <= 1.0
+
+    def test_wilson_extremes(self):
+        low, high = wilson_confidence_interval(0, 10)
+        assert low == 0.0
+        low, high = wilson_confidence_interval(10, 10)
+        assert high == pytest.approx(1.0)
+
+    def test_wilson_validation(self):
+        with pytest.raises(ValueError):
+            wilson_confidence_interval(5, 0)
+        with pytest.raises(ValueError):
+            wilson_confidence_interval(11, 10)
+
+    def test_mean_confidence_interval(self):
+        low, high = mean_confidence_interval([1.0, 2.0, 3.0])
+        assert low < 2.0 < high
+        assert mean_confidence_interval([5.0]) == (5.0, 5.0)
+        with pytest.raises(ValueError):
+            mean_confidence_interval([])
+
+    def test_required_trials_paper_claim(self):
+        # ~1000 trials give a 1% margin for the >95% success proportions the
+        # paper reports (Sec. 4.1).
+        assert required_trials(0.01, proportion=0.97) <= 1200
+        assert required_trials(0.01, proportion=0.5) > 9000
+        with pytest.raises(ValueError):
+            required_trials(0.0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        successes=st.integers(min_value=0, max_value=50),
+        extra=st.integers(min_value=1, max_value=50),
+    )
+    def test_property_wilson_interval_ordering(self, successes, extra):
+        trials = successes + extra
+        low, high = wilson_confidence_interval(successes, trials)
+        assert 0.0 <= low <= high <= 1.0
+
+
+class TestResultTable:
+    def make_table(self):
+        table = ResultTable(title="demo")
+        table.add(ber=0.0, rate=0.98)
+        table.add(ber=0.01, rate=0.40)
+        return table
+
+    def test_columns_and_column(self):
+        table = self.make_table()
+        assert table.columns == ["ber", "rate"]
+        assert table.column("rate") == [0.98, 0.40]
+        assert len(table) == 2
+
+    def test_filter(self):
+        table = self.make_table()
+        filtered = table.filter(ber=0.01)
+        assert len(filtered) == 1 and filtered.rows[0]["rate"] == 0.40
+
+    def test_json_round_trip(self, tmp_path):
+        table = self.make_table()
+        path = tmp_path / "result.json"
+        payload = table.to_json(path)
+        loaded = ResultTable.from_json(path.read_text())
+        assert loaded.rows == table.rows
+        assert json.loads(payload)["title"] == "demo"
+
+    def test_csv_export(self, tmp_path):
+        table = self.make_table()
+        path = tmp_path / "result.csv"
+        table.to_csv(path)
+        lines = path.read_text().strip().splitlines()
+        assert lines[0] == "ber,rate"
+        assert len(lines) == 3
+
+    def test_render_table(self):
+        text = render_table(self.make_table())
+        assert "ber" in text and "0.980" in text
+
+    def test_render_small_floats_in_scientific(self):
+        table = ResultTable(title="t")
+        table.add(ber=1e-5, rate=0.5)
+        assert "e-05" in render_table(table)
+
+    def test_render_empty(self):
+        assert "(empty)" in render_table(ResultTable(title="t"))
+
+
+class TestSeriesResult:
+    def test_add_series_and_table(self):
+        series = SeriesResult(title="fig", x_label="ber", x_values=[0.0, 0.1])
+        series.add_series("tabular", [0.9, 0.5])
+        series.add_series("nn", [0.95, 0.7])
+        table = series.as_table()
+        assert table.columns == ["ber", "tabular", "nn"]
+        assert len(table) == 2
+
+    def test_mismatched_length_rejected(self):
+        series = SeriesResult(title="fig", x_label="x", x_values=[1, 2, 3])
+        with pytest.raises(ValueError):
+            series.add_series("bad", [1.0])
+
+    def test_json(self, tmp_path):
+        series = SeriesResult(title="fig", x_label="x", x_values=[1])
+        series.add_series("y", [2.0])
+        path = tmp_path / "series.json"
+        series.to_json(path)
+        data = json.loads(path.read_text())
+        assert data["series"]["y"] == [2.0]
+
+
+class TestHeatmapRendering:
+    def test_render_heatmap(self):
+        values = np.array([[1.0, 2.0], [3.0, 4.0]])
+        text = render_heatmap(values, ["high", "low"], ["early", "late"], title="demo")
+        assert "demo" in text and "high" in text and "4" in text
+
+    def test_heatmap_shape_validation(self):
+        with pytest.raises(ValueError):
+            render_heatmap(np.zeros((2, 2)), ["a"], ["b", "c"])
+        with pytest.raises(ValueError):
+            render_heatmap(np.zeros(3), ["a"], ["b"])

@@ -1,0 +1,221 @@
+"""Tests for the two fault-mitigation techniques."""
+
+import numpy as np
+import pytest
+
+from repro.core.mitigation import (
+    AdaptiveExplorationController,
+    PermanentFaultDetector,
+    RangeAnomalyDetector,
+    RewardDropDetector,
+    estimate_runtime_overhead,
+)
+from repro.nn import Dense, ReLU, Sequential
+from repro.nn.buffers import QuantizedExecutor
+from repro.quant import Q16_NARROW
+from repro.rl import DecayingEpsilonGreedy, TabularQAgent
+from repro.rl.trainer import EpisodeRecord
+
+
+class TestRewardDropDetector:
+    def test_detects_sudden_drop(self):
+        detector = RewardDropDetector(drop_threshold=0.25, window=10)
+        for episode in range(10):
+            assert detector.observe(episode, 1.0) is None
+        event = detector.observe(10, 0.2)
+        assert event is not None and event.kind == "transient"
+        assert event.reward_drop >= 0.25
+
+    def test_no_detection_on_stable_reward(self):
+        detector = RewardDropDetector()
+        for episode in range(100):
+            assert detector.observe(episode, 0.9 + 0.01 * (episode % 3)) is None
+
+    def test_normalized_drop(self):
+        detector = RewardDropDetector()
+        detector.observe(0, 1.0)
+        assert detector.normalized_drop(0.5) == pytest.approx(0.5)
+        assert detector.normalized_drop(2.0) == 0.0
+
+    def test_reset(self):
+        detector = RewardDropDetector()
+        detector.observe(0, 1.0)
+        detector.reset()
+        assert detector.max_reward is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RewardDropDetector(drop_threshold=0.0)
+        with pytest.raises(ValueError):
+            RewardDropDetector(window=0)
+
+
+class TestPermanentFaultDetector:
+    def test_detects_persistent_low_reward(self):
+        detector = PermanentFaultDetector(low_fraction=0.5, window=5)
+        detector.observe(0, 1.0, exploration_steady=False)
+        event = None
+        for episode in range(1, 20):
+            event = detector.observe(episode, 0.1, exploration_steady=True)
+            if event:
+                break
+        assert event is not None and event.kind == "permanent"
+
+    def test_no_detection_before_steady_state(self):
+        detector = PermanentFaultDetector(window=3)
+        detector.observe(0, 1.0, exploration_steady=False)
+        for episode in range(1, 10):
+            assert detector.observe(episode, 0.0, exploration_steady=False) is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PermanentFaultDetector(low_fraction=1.0)
+
+
+class TestExplorationController:
+    def make_record(self, episode, reward):
+        return EpisodeRecord(episode, reward, 10, reward > 0.5, 0.05)
+
+    def test_eq6_delta(self):
+        controller = AdaptiveExplorationController(alpha=0.8, steady_episodes=100)
+        # Late fault (t >= T): delta = alpha * f(r).
+        assert controller.exploration_delta(0.5, 200) == pytest.approx(0.4)
+        # Early fault: delta scaled down by f(t).
+        assert controller.exploration_delta(0.5, 50) == pytest.approx(0.8 * 0.5 * 0.5)
+
+    def test_transient_detection_boosts_epsilon(self, rng):
+        agent = TabularQAgent(4, 2, schedule=DecayingEpsilonGreedy(1.0, 0.05, 0.5), rng=rng)
+        controller = AdaptiveExplorationController(alpha=0.8, drop_window=10, cooldown=1)
+        for episode in range(30):
+            agent.schedule.step()
+            controller.on_episode_end(episode, agent, None, self.make_record(episode, 1.0))
+        epsilon_before = agent.schedule.epsilon
+        controller.on_episode_end(31, agent, None, self.make_record(31, 0.0))
+        assert controller.transient_detections == 1
+        assert agent.schedule.epsilon > epsilon_before
+
+    def test_permanent_detection_restarts_schedule(self, rng):
+        agent = TabularQAgent(4, 2, schedule=DecayingEpsilonGreedy(1.0, 0.05, 0.5), rng=rng)
+        controller = AdaptiveExplorationController(
+            alpha=0.8, drop_window=5, permanent_window=5, cooldown=1
+        )
+        for _ in range(20):
+            agent.schedule.step()
+        assert agent.schedule.is_steady()
+        controller.on_episode_end(0, agent, None, self.make_record(0, 1.0))
+        episode = 1
+        while controller.permanent_detections == 0 and episode < 40:
+            # Keep stepping the schedule so that, after any transient boost,
+            # epsilon decays back to its floor and the permanent detector can
+            # observe the steady exploitation phase again.
+            agent.schedule.step()
+            controller.on_episode_end(episode, agent, None, self.make_record(episode, 0.0))
+            episode += 1
+        assert controller.permanent_detections >= 1
+        assert agent.schedule.epsilon == pytest.approx(1.0)
+        assert controller.adjustments[-1].decay_slowdown == 2.0
+
+    def test_controller_ignores_constant_schedules(self, rng):
+        from repro.rl import ConstantSchedule
+
+        agent = TabularQAgent(4, 2, schedule=ConstantSchedule(0.1), rng=rng)
+        controller = AdaptiveExplorationController()
+        controller.on_episode_end(0, agent, None, self.make_record(0, 1.0))
+        controller.on_episode_end(1, agent, None, self.make_record(1, 0.0))
+        assert not controller.adjustments
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveExplorationController(alpha=0.0)
+        with pytest.raises(ValueError):
+            AdaptiveExplorationController(steady_episodes=0)
+
+
+class TestRangeAnomalyDetector:
+    def make_executor(self, rng):
+        net = Sequential(
+            [Dense(6, 8, name="fc1", rng=rng), ReLU(name="relu1"), Dense(8, 3, name="fc2", rng=rng)]
+        )
+        executor = QuantizedExecutor(net, Q16_NARROW)
+        profile = executor.profile_ranges(rng.normal(size=(32, 6)))
+        return executor, profile
+
+    def test_clean_weights_untouched(self, rng):
+        executor, profile = self.make_executor(rng)
+        detector = RangeAnomalyDetector(profile, margin=0.1)
+        removed = detector.apply_to_weights(executor)
+        assert removed == 0
+
+    def test_out_of_range_weight_is_zeroed(self, rng):
+        executor, profile = self.make_executor(rng)
+
+        def corrupt(name, tensor):
+            if name == "fc2.weight":
+                values = tensor.values
+                values[0, 0] = 15.0
+                tensor.values = values
+
+        executor.apply_weight_faults(corrupt)
+        detector = RangeAnomalyDetector(profile, margin=0.1)
+        removed = detector.apply_to_weights(executor)
+        assert removed >= 1
+        assert executor.network.named_params()["fc2.weight"][0, 0] == 0.0
+        assert detector.detection_rate > 0.0
+
+    def test_small_deviations_ignored_in_integer_mode(self, rng):
+        executor, profile = self.make_executor(rng)
+
+        def nudge(name, tensor):
+            if name == "fc1.weight":
+                values = tensor.values
+                values[0, 0] += 0.3  # stays within the integer-level bound
+                tensor.values = values
+
+        executor.apply_weight_faults(nudge)
+        detector = RangeAnomalyDetector(profile, margin=0.1, compare_integer_bits_only=True)
+        assert detector.apply_to_weights(executor) == 0
+
+    def test_full_value_mode_is_stricter(self, rng):
+        executor, profile = self.make_executor(rng)
+        lo, hi = profile.weight_ranges["fc1"]
+
+        def nudge(name, tensor):
+            if name == "fc1.weight":
+                values = tensor.values
+                values[0, 0] = hi + 0.5
+                tensor.values = values
+
+        executor.apply_weight_faults(nudge)
+        detector = RangeAnomalyDetector(profile, margin=0.1, compare_integer_bits_only=False)
+        assert detector.apply_to_weights(executor) >= 1
+
+    def test_activation_hook_counts(self, rng):
+        executor, profile = self.make_executor(rng)
+        detector = RangeAnomalyDetector(profile, margin=0.1)
+        executor.activation_hooks.append(detector.activation_hook)
+        executor.forward(rng.normal(size=(1, 6)))
+        assert detector.counters.checked_values > 0
+        detector.reset_counters()
+        assert detector.counters.checked_values == 0
+
+    def test_margin_validation(self, rng):
+        _, profile = self.make_executor(rng)
+        with pytest.raises(ValueError):
+            RangeAnomalyDetector(profile, margin=-0.1)
+
+
+class TestOverheadModel:
+    def test_paper_configuration_below_three_percent(self):
+        overhead = estimate_runtime_overhead(16, 5)
+        assert overhead < 0.03
+
+    def test_wider_compare_costs_more(self):
+        assert estimate_runtime_overhead(16, 16) > estimate_runtime_overhead(16, 5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            estimate_runtime_overhead(0, 1)
+        with pytest.raises(ValueError):
+            estimate_runtime_overhead(8, 9)
+        with pytest.raises(ValueError):
+            estimate_runtime_overhead(8, 4, macs_per_value=0)

@@ -1,0 +1,208 @@
+"""Tests for the numpy NN layers, including numerical gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Adam, Conv2D, Dense, Flatten, MaxPool2D, ReLU, Sequential, SGD
+from repro.nn.initializers import fan_in_out, glorot_uniform, he_uniform
+from repro.nn.losses import huber_loss, mse_loss
+
+
+def numerical_gradient(func, array, eps=1e-5):
+    """Central-difference gradient of a scalar function w.r.t. an array."""
+    grad = np.zeros_like(array)
+    flat = array.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = func()
+        flat[i] = original - eps
+        minus = func()
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2 * eps)
+    return grad
+
+
+class TestDense:
+    def test_forward_shape(self, rng):
+        layer = Dense(4, 3, rng=rng)
+        out = layer.forward(rng.normal(size=(5, 4)))
+        assert out.shape == (5, 3)
+
+    def test_forward_matches_matmul(self, rng):
+        layer = Dense(4, 3, rng=rng)
+        x = rng.normal(size=(2, 4))
+        assert np.allclose(layer.forward(x), x @ layer.weight + layer.bias)
+
+    def test_weight_gradient_matches_numerical(self, rng):
+        layer = Dense(3, 2, rng=rng)
+        x = rng.normal(size=(4, 3))
+        target = rng.normal(size=(4, 2))
+
+        def loss_fn():
+            pred = layer.forward(x, training=True)
+            return mse_loss(pred, target)[0]
+
+        loss_fn()
+        _, grad_out = mse_loss(layer.forward(x, training=True), target)
+        layer.backward(grad_out)
+        numeric = numerical_gradient(loss_fn, layer.weight)
+        assert np.allclose(layer.grad_weight, numeric, atol=1e-5)
+
+    def test_input_gradient_matches_numerical(self, rng):
+        layer = Dense(3, 2, rng=rng)
+        x = rng.normal(size=(2, 3))
+        target = rng.normal(size=(2, 2))
+
+        def loss_fn():
+            return mse_loss(layer.forward(x, training=True), target)[0]
+
+        _, grad_out = mse_loss(layer.forward(x, training=True), target)
+        grad_in = layer.backward(grad_out)
+        numeric = numerical_gradient(loss_fn, x)
+        assert np.allclose(grad_in, numeric, atol=1e-5)
+
+    def test_backward_without_forward_raises(self, rng):
+        layer = Dense(3, 2, rng=rng)
+        with pytest.raises(RuntimeError):
+            layer.backward(np.zeros((1, 2)))
+
+    def test_set_params(self, rng):
+        layer = Dense(3, 2, rng=rng)
+        layer.set_params({"weight": np.ones((3, 2))})
+        assert np.all(layer.weight == 1.0)
+        with pytest.raises(KeyError):
+            layer.set_params({"nonexistent": np.ones(1)})
+
+
+class TestConv2D:
+    def test_forward_shape(self, rng):
+        layer = Conv2D(2, 4, kernel_size=3, rng=rng)
+        out = layer.forward(rng.normal(size=(2, 2, 8, 8)))
+        assert out.shape == (2, 4, 6, 6)
+
+    def test_forward_shape_with_stride_and_padding(self, rng):
+        layer = Conv2D(1, 3, kernel_size=3, stride=2, padding=1, rng=rng)
+        out = layer.forward(rng.normal(size=(1, 1, 7, 7)))
+        assert out.shape == (1, 3, 4, 4)
+        assert layer.output_shape((1, 7, 7)) == (3, 4, 4)
+
+    def test_forward_matches_manual_convolution(self, rng):
+        layer = Conv2D(1, 1, kernel_size=2, rng=rng)
+        x = rng.normal(size=(1, 1, 3, 3))
+        out = layer.forward(x)
+        kernel = layer.weight[0, 0]
+        expected = np.zeros((2, 2))
+        for i in range(2):
+            for j in range(2):
+                expected[i, j] = np.sum(x[0, 0, i : i + 2, j : j + 2] * kernel) + layer.bias[0]
+        assert np.allclose(out[0, 0], expected)
+
+    def test_weight_gradient_matches_numerical(self, rng):
+        layer = Conv2D(1, 2, kernel_size=2, rng=rng)
+        x = rng.normal(size=(2, 1, 4, 4))
+        target = rng.normal(size=(2, 2, 3, 3))
+
+        def loss_fn():
+            return mse_loss(layer.forward(x, training=True), target)[0]
+
+        _, grad_out = mse_loss(layer.forward(x, training=True), target)
+        layer.backward(grad_out)
+        numeric = numerical_gradient(loss_fn, layer.weight)
+        assert np.allclose(layer.grad_weight, numeric, atol=1e-4)
+
+    def test_input_gradient_matches_numerical(self, rng):
+        layer = Conv2D(1, 1, kernel_size=2, rng=rng)
+        x = rng.normal(size=(1, 1, 3, 3))
+        target = rng.normal(size=(1, 1, 2, 2))
+
+        def loss_fn():
+            return mse_loss(layer.forward(x, training=True), target)[0]
+
+        _, grad_out = mse_loss(layer.forward(x, training=True), target)
+        grad_in = layer.backward(grad_out)
+        numeric = numerical_gradient(loss_fn, x)
+        assert np.allclose(grad_in, numeric, atol=1e-4)
+
+    def test_kernel_too_large_raises(self, rng):
+        layer = Conv2D(1, 1, kernel_size=5, rng=rng)
+        with pytest.raises(ValueError):
+            layer.forward(np.zeros((1, 1, 3, 3)))
+
+
+class TestPoolingAndActivations:
+    def test_maxpool_forward(self):
+        layer = MaxPool2D(2)
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        out = layer.forward(x)
+        assert out.shape == (1, 1, 2, 2)
+        assert out[0, 0].tolist() == [[5.0, 7.0], [13.0, 15.0]]
+
+    def test_maxpool_backward_routes_gradient_to_max(self):
+        layer = MaxPool2D(2)
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        layer.forward(x, training=True)
+        grad = layer.backward(np.ones((1, 1, 2, 2)))
+        assert grad.sum() == 4.0
+        assert grad[0, 0, 1, 1] == 1.0  # position of value 5
+        assert grad[0, 0, 0, 0] == 0.0
+
+    def test_relu_masks_negative(self):
+        layer = ReLU()
+        out = layer.forward(np.array([[-1.0, 2.0, 0.0]]))
+        assert out.tolist() == [[0.0, 2.0, 0.0]]
+
+    def test_relu_backward(self):
+        layer = ReLU()
+        layer.forward(np.array([[-1.0, 2.0]]), training=True)
+        grad = layer.backward(np.array([[5.0, 5.0]]))
+        assert grad.tolist() == [[0.0, 5.0]]
+
+    def test_flatten_round_trip(self):
+        layer = Flatten()
+        x = np.arange(24, dtype=float).reshape(2, 3, 2, 2)
+        out = layer.forward(x, training=True)
+        assert out.shape == (2, 12)
+        back = layer.backward(out)
+        assert back.shape == x.shape
+
+    def test_pool_output_shape(self):
+        assert MaxPool2D(2).output_shape((8, 10, 10)) == (8, 5, 5)
+
+
+class TestLossesAndInitializers:
+    def test_mse_zero_for_equal(self):
+        loss, grad = mse_loss(np.ones((2, 2)), np.ones((2, 2)))
+        assert loss == 0.0
+        assert np.all(grad == 0)
+
+    def test_mse_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            mse_loss(np.ones((2, 2)), np.ones((3, 2)))
+
+    def test_huber_quadratic_region_matches_mse_scale(self):
+        pred = np.array([[0.1]])
+        target = np.array([[0.0]])
+        loss, _ = huber_loss(pred, target, delta=1.0)
+        assert loss == pytest.approx(0.5 * 0.1**2)
+
+    def test_huber_linear_region(self):
+        loss, grad = huber_loss(np.array([[10.0]]), np.array([[0.0]]), delta=1.0)
+        assert loss == pytest.approx(0.5 + 9.0)
+        assert grad[0, 0] == pytest.approx(1.0)
+
+    def test_huber_invalid_delta(self):
+        with pytest.raises(ValueError):
+            huber_loss(np.ones(1), np.ones(1), delta=0.0)
+
+    def test_fan_in_out(self):
+        assert fan_in_out((10, 5)) == (10, 5)
+        assert fan_in_out((8, 4, 3, 3)) == (36, 72)
+
+    def test_initializer_ranges(self, rng):
+        weights = he_uniform((100, 50), rng)
+        limit = np.sqrt(6.0 / 100)
+        assert np.abs(weights).max() <= limit
+        weights = glorot_uniform((100, 50), rng)
+        assert np.abs(weights).max() <= np.sqrt(6.0 / 150)

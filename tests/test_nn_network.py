@@ -1,0 +1,224 @@
+"""Tests for Sequential networks, optimizers and the accelerator buffer model."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Adam, Dense, ReLU, SGD, Sequential
+from repro.nn.buffers import (
+    INPUT_BUFFER,
+    BufferSet,
+    LayerRangeProfile,
+    QuantizedExecutor,
+    activation_buffer_name,
+    weight_buffer_name,
+)
+from repro.nn.losses import mse_loss
+from repro.policies import build_grid_q_network, small_c3f2
+from repro.quant import Q8_GRID, Q16_NARROW
+
+
+def make_mlp(rng):
+    return Sequential(
+        [Dense(4, 8, name="fc1", rng=rng), ReLU(name="relu1"), Dense(8, 2, name="fc2", rng=rng)],
+        name="mlp",
+    )
+
+
+class TestSequential:
+    def test_forward_shape(self, rng):
+        net = make_mlp(rng)
+        assert net.forward(rng.normal(size=(3, 4))).shape == (3, 2)
+
+    def test_named_params_keys(self, rng):
+        net = make_mlp(rng)
+        keys = set(net.named_params())
+        assert keys == {"fc1.weight", "fc1.bias", "fc2.weight", "fc2.bias"}
+
+    def test_state_dict_round_trip(self, rng):
+        net = make_mlp(rng)
+        state = net.state_dict()
+        x = rng.normal(size=(2, 4))
+        before = net.forward(x)
+        for param in net.named_params().values():
+            param += 1.0
+        assert not np.allclose(net.forward(x), before)
+        net.load_state_dict(state)
+        assert np.allclose(net.forward(x), before)
+
+    def test_duplicate_layer_names_are_renamed(self, rng):
+        net = Sequential([Dense(2, 2, name="fc", rng=rng), Dense(2, 2, name="fc", rng=rng)])
+        names = [layer.name for layer in net.layers]
+        assert len(set(names)) == 2
+
+    def test_layer_lookup(self, rng):
+        net = make_mlp(rng)
+        assert net.layer_by_name("fc2").name == "fc2"
+        assert net.layer_index("relu1") == 1
+        with pytest.raises(KeyError):
+            net.layer_by_name("nope")
+
+    def test_forward_hook_can_modify_output(self, rng):
+        net = make_mlp(rng)
+        x = rng.normal(size=(1, 4))
+
+        def zero_fc1(index, layer, output):
+            return np.zeros_like(output) if layer.name == "fc1" else output
+
+        hooked = net.forward(x, hooks=[zero_fc1])
+        expected = net.layers[2].forward(np.zeros((1, 8)))
+        assert np.allclose(hooked, expected)
+
+    def test_num_params_and_summary(self, rng):
+        net = make_mlp(rng)
+        assert net.num_params() == 4 * 8 + 8 + 8 * 2 + 2
+        summary = net.summary((4,))
+        assert "fc1" in summary and "total params" in summary
+
+    def test_training_reduces_loss(self, rng):
+        net = make_mlp(rng)
+        optimizer = Adam(net, learning_rate=5e-3)
+        x = rng.normal(size=(16, 4))
+        target = rng.normal(size=(16, 2))
+        first_loss = None
+        for _ in range(500):
+            pred = net.forward(x, training=True)
+            loss, grad = mse_loss(pred, target)
+            if first_loss is None:
+                first_loss = loss
+            net.backward(grad)
+            optimizer.step()
+        assert loss < first_loss * 0.5
+
+
+class TestOptimizers:
+    def test_sgd_moves_against_gradient(self, rng):
+        net = Sequential([Dense(2, 1, name="fc", rng=rng)])
+        optimizer = SGD(net, learning_rate=0.1)
+        x = np.array([[1.0, 1.0]])
+        target = np.array([[10.0]])
+        before = mse_loss(net.forward(x), target)[0]
+        for _ in range(50):
+            pred = net.forward(x, training=True)
+            _, grad = mse_loss(pred, target)
+            net.backward(grad)
+            optimizer.step()
+        after = mse_loss(net.forward(x), target)[0]
+        assert after < before
+
+    def test_frozen_parameters_do_not_move(self, rng):
+        net = make_mlp(rng)
+        frozen_before = net.named_params()["fc1.weight"].copy()
+        optimizer = Adam(net, learning_rate=1e-2, frozen=["fc1"])
+        x = rng.normal(size=(8, 4))
+        target = rng.normal(size=(8, 2))
+        for _ in range(20):
+            pred = net.forward(x, training=True)
+            _, grad = mse_loss(pred, target)
+            net.backward(grad)
+            optimizer.step()
+        assert np.array_equal(net.named_params()["fc1.weight"], frozen_before)
+        assert not np.array_equal(
+            net.named_params()["fc2.weight"], frozen_before[: 8, :2]
+        )
+
+    def test_invalid_hyperparameters(self, rng):
+        net = make_mlp(rng)
+        with pytest.raises(ValueError):
+            SGD(net, learning_rate=-1)
+        with pytest.raises(ValueError):
+            SGD(net, momentum=1.5)
+
+    def test_unfreeze(self, rng):
+        net = make_mlp(rng)
+        optimizer = SGD(net, frozen=["fc1"])
+        optimizer.unfreeze("fc1")
+        assert not optimizer._is_frozen("fc1.weight")
+
+
+class TestBufferModel:
+    def test_buffer_names(self, rng):
+        net = make_mlp(rng)
+        buffers = BufferSet(net, Q16_NARROW)
+        assert weight_buffer_name("fc1.weight") in buffers.buffers
+        assert len(buffers.weight_buffers()) == 4
+
+    def test_sync_weights_propagates_faults(self, rng):
+        net = make_mlp(rng)
+        buffers = BufferSet(net, Q16_NARROW)
+        buffer = buffers.get(weight_buffer_name("fc2.weight"))
+        values = buffer.values
+        values[0, 0] = 9.0
+        buffer.values = values
+        buffers.sync_weights_to_network()
+        assert net.named_params()["fc2.weight"][0, 0] == pytest.approx(9.0, abs=1e-3)
+
+    def test_executor_matches_plain_forward_approximately(self, rng):
+        net = make_mlp(rng)
+        executor = QuantizedExecutor(net, Q16_NARROW)
+        x = rng.normal(size=(2, 4))
+        plain = net.forward(x)
+        quantized = executor.forward(x)
+        assert np.allclose(plain, quantized, atol=0.05)
+
+    def test_executor_writes_activation_buffers(self, rng):
+        net = make_mlp(rng)
+        executor = QuantizedExecutor(net, Q16_NARROW)
+        executor.forward(rng.normal(size=(1, 4)))
+        assert INPUT_BUFFER in executor.buffer_set.buffers
+        assert activation_buffer_name("fc2") in executor.buffer_set.buffers
+
+    def test_executor_hooks_receive_buffers(self, rng):
+        net = make_mlp(rng)
+        seen = []
+        executor = QuantizedExecutor(
+            net,
+            Q16_NARROW,
+            activation_hooks=[lambda tensor, layer: seen.append(layer.name)],
+        )
+        executor.forward(rng.normal(size=(1, 4)))
+        assert seen == ["fc1", "relu1", "fc2"]
+
+    def test_restore_clean_weights(self, rng):
+        net = make_mlp(rng)
+        executor = QuantizedExecutor(net, Q16_NARROW)
+        original = net.state_dict()
+        executor.apply_weight_faults(lambda name, tensor: setattr(tensor, "values", tensor.values * 0))
+        assert np.all(net.named_params()["fc1.weight"] == 0)
+        executor.restore_clean_weights()
+        assert np.allclose(net.named_params()["fc1.weight"], original["fc1.weight"])
+
+    def test_profile_ranges(self, rng):
+        net = make_mlp(rng)
+        executor = QuantizedExecutor(net, Q16_NARROW)
+        profile = executor.profile_ranges(rng.normal(size=(16, 4)))
+        assert "fc1" in profile.weight_ranges
+        assert "fc2" in profile.activation_ranges
+        lo, hi = profile.activation_bound("fc2", margin=0.1)
+        raw_lo, raw_hi = profile.activation_ranges["fc2"]
+        assert lo <= raw_lo and hi >= raw_hi
+
+    def test_total_bits(self, rng):
+        net = make_mlp(rng)
+        buffers = BufferSet(net, Q8_GRID)
+        assert buffers.total_bits() == net.num_params() * 8
+
+
+class TestPolicyArchitectures:
+    def test_grid_q_network_shapes(self, rng):
+        net = build_grid_q_network(100, 4, hidden_sizes=(32,), rng=rng)
+        out = net.forward(np.eye(100)[:5])
+        assert out.shape == (5, 4)
+
+    def test_c3f2_layer_names(self, rng):
+        net = small_c3f2(32, rng=rng)
+        names = [layer.name for layer in net.trainable_layers()]
+        assert names == ["conv1", "conv2", "conv3", "fc1", "fc2"]
+
+    def test_c3f2_forward_shape(self, rng):
+        net = small_c3f2(24, n_actions=25, rng=rng)
+        out = net.forward(rng.normal(size=(2, 1, 24, 24)))
+        assert out.shape == (2, 25)
+
+    def test_small_c3f2_rejects_tiny_images(self, rng):
+        with pytest.raises(ValueError):
+            small_c3f2(8, rng=rng)

@@ -1,0 +1,155 @@
+"""Tests for the bit-addressable quantized tensor."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quant import Q8_GRID, Q16_NARROW, QTensor
+from repro.quant.statistics import bit_histogram, bit_level_stats, value_histogram
+
+
+class TestQTensorViews:
+    def test_values_round_trip(self, rng):
+        values = Q8_GRID.quantize(rng.uniform(-7, 7, size=(3, 3)))
+        tensor = QTensor(values, Q8_GRID)
+        assert np.allclose(tensor.values, values)
+
+    def test_set_values_reencodes(self, small_qtensor):
+        new = np.zeros(small_qtensor.shape)
+        small_qtensor.values = new
+        assert np.all(small_qtensor.raw == 0)
+
+    def test_shape_mismatch_rejected(self, small_qtensor):
+        with pytest.raises(ValueError):
+            small_qtensor.values = np.zeros((2, 2))
+        with pytest.raises(ValueError):
+            small_qtensor.raw = np.zeros((2, 2), dtype=np.int64)
+
+    def test_from_raw_masks_extra_bits(self):
+        tensor = QTensor.from_raw(np.array([0x1FF]), Q8_GRID)
+        assert tensor.raw[0] == 0xFF
+
+    def test_zeros_constructor(self):
+        tensor = QTensor.zeros((2, 3), Q8_GRID, name="buf")
+        assert tensor.size == 6
+        assert np.all(tensor.values == 0)
+        assert tensor.name == "buf"
+
+    def test_copy_is_independent(self, small_qtensor):
+        copy = small_qtensor.copy()
+        copy.inject_bit_flips(np.array([0]), np.array([7]))
+        assert copy != small_qtensor
+
+    def test_equality(self, small_qtensor):
+        assert small_qtensor == small_qtensor.copy()
+        other = QTensor(small_qtensor.values, Q16_NARROW)
+        assert small_qtensor != other
+
+
+class TestQTensorFaults:
+    def test_bit_flip_changes_value(self, small_qtensor):
+        before = small_qtensor.values.flat[0]
+        small_qtensor.inject_bit_flips(np.array([0]), np.array([7]))
+        after = small_qtensor.values.flat[0]
+        assert before != after
+
+    def test_msb_flip_changes_sign_region(self):
+        tensor = QTensor(np.array([1.0]), Q8_GRID)
+        tensor.inject_bit_flips(np.array([0]), np.array([7]))
+        # Flipping the sign bit of +1.0 (raw 0x10) gives raw 0x90 = -7.0.
+        assert tensor.values[0] == pytest.approx(-7.0)
+
+    def test_stuck_at_zero_on_zero_is_benign(self):
+        tensor = QTensor.zeros((4,), Q8_GRID)
+        tensor.inject_stuck_at(np.arange(4), np.full(4, 3), stuck_value=0)
+        assert np.all(tensor.values == 0)
+
+    def test_stuck_at_one_on_zero_corrupts(self):
+        tensor = QTensor.zeros((4,), Q8_GRID)
+        tensor.inject_stuck_at(np.arange(4), np.full(4, 6), stuck_value=1)
+        assert np.all(tensor.values != 0)
+
+    def test_random_flip_count_matches_ber(self, rng):
+        tensor = QTensor.zeros((100, 10), Q16_NARROW)
+        count = tensor.inject_random_bit_flips(0.01, rng)
+        # 100*10*16 = 16000 bits -> expect ~160 flips.
+        assert 100 < count < 240
+
+    def test_sample_fault_sites_does_not_mutate(self, small_qtensor, rng):
+        before = small_qtensor.raw
+        small_qtensor.sample_fault_sites(0.5, rng)
+        assert np.array_equal(small_qtensor.raw, before)
+
+    def test_sign_integer_words_mask(self):
+        tensor = QTensor(np.array([1.5]), Q8_GRID)  # raw 0b0001_1000
+        masked = tensor.sign_integer_words()[0]
+        assert masked == 0b00010000
+
+
+class TestStatistics:
+    def test_bit_counts_all_zero_tensor(self):
+        tensor = QTensor.zeros((4, 4), Q8_GRID)
+        zeros, ones = tensor.bit_counts()
+        assert ones == 0
+        assert zeros == 4 * 4 * 8
+
+    def test_bit_counts_sum_invariant(self, wide_qtensor):
+        zeros, ones = wide_qtensor.bit_counts()
+        assert zeros + ones == wide_qtensor.size * 16
+
+    def test_bit_level_stats(self, wide_qtensor):
+        stats = bit_level_stats(wide_qtensor)
+        assert 0.0 < stats.zero_fraction < 1.0
+        assert stats.zero_fraction + stats.one_fraction == pytest.approx(1.0)
+        assert stats.min_value <= stats.max_value
+
+    def test_bit_histogram_length(self, small_qtensor):
+        counts = bit_histogram(small_qtensor)
+        assert counts.shape == (8,)
+        assert counts.max() <= small_qtensor.size
+
+    def test_value_histogram_covers_all_elements(self, small_qtensor):
+        counts, edges = value_histogram(small_qtensor, bins=16)
+        assert counts.sum() == small_qtensor.size
+        assert len(edges) == 17
+
+    def test_value_range(self, small_qtensor):
+        lo, hi = small_qtensor.value_range()
+        assert lo <= hi
+        vals = small_qtensor.values
+        assert lo == vals.min() and hi == vals.max()
+
+    def test_out_of_range_mask(self):
+        tensor = QTensor(np.array([0.0, 5.0, -5.0]), Q8_GRID)
+        mask = tensor.out_of_range_mask(-1.0, 1.0)
+        assert mask.tolist() == [False, True, True]
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    values=st.lists(
+        st.floats(min_value=-7.5, max_value=7.5, allow_nan=False), min_size=1, max_size=20
+    ),
+    bit=st.integers(min_value=0, max_value=7),
+)
+def test_property_double_flip_restores_tensor(values, bit):
+    tensor = QTensor(np.array(values), Q8_GRID)
+    original = tensor.raw
+    index = np.array([len(values) - 1])
+    tensor.inject_bit_flips(index, np.array([bit]))
+    tensor.inject_bit_flips(index, np.array([bit]))
+    assert np.array_equal(tensor.raw, original)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    values=st.lists(
+        st.floats(min_value=-15.0, max_value=15.0, allow_nan=False), min_size=1, max_size=20
+    )
+)
+def test_property_values_always_in_format_range(values):
+    tensor = QTensor(np.array(values), Q16_NARROW)
+    decoded = tensor.values
+    assert decoded.max() <= Q16_NARROW.max_value
+    assert decoded.min() >= Q16_NARROW.min_value
