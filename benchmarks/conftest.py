@@ -5,7 +5,10 @@ resulting table, so a ``pytest benchmarks/ --benchmark-only`` run leaves a
 textual record of the reproduced trends.  Sweep densities and repetition
 counts are kept small so the whole harness runs in minutes on a laptop; set
 ``REPRO_SCALE=paper`` and ``REPRO_CAMPAIGN_REPS=1000`` to rerun at the
-paper's scale.
+paper's scale, and ``REPRO_CAMPAIGN_WORKERS=auto`` (or any worker count) to
+fan the campaign trials out over a process pool — campaign outcomes are
+bit-identical to serial runs for the same seed, so parallelism never
+changes the reported numbers.
 """
 
 from __future__ import annotations

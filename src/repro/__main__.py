@@ -1,0 +1,293 @@
+"""Command-line entry point: run any figure campaign from the shell.
+
+``python -m repro <figure>`` reproduces one paper figure (or the headline
+summary) with the experiment-level knobs exposed as flags::
+
+    python -m repro fig2 --approach tabular --workers 4
+    python -m repro fig7 --fast --workers auto
+    python -m repro fig10 --checkpoint-dir runs/fig10 --resume
+    python -m repro summary --out-dir results/
+
+``--workers`` selects the parallel campaign engine (bit-identical to serial
+runs for the same seed); ``--checkpoint-dir`` streams every campaign's trial
+outcomes to JSONL files so an interrupted sweep can be restarted with
+``--resume``.  ``REPRO_SCALE``, ``REPRO_CAMPAIGN_REPS`` and
+``REPRO_CAMPAIGN_WORKERS`` keep working as environment-level defaults.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.experiments.config import (
+    DroneConfig,
+    GridNNConfig,
+    GridTabularConfig,
+    drone_ber_sweep,
+    grid_ber_sweep,
+    injection_episodes,
+)
+from repro.io.results import ResultTable, SeriesResult
+from repro.io.tables import render_table
+
+__all__ = ["main"]
+
+
+def _grid_config(args) -> "GridTabularConfig | GridNNConfig":
+    cls = GridNNConfig if args.approach == "nn" else GridTabularConfig
+    return cls.fast() if args.fast else cls()
+
+
+def _nn_config(args) -> GridNNConfig:
+    return GridNNConfig.fast() if args.fast else GridNNConfig()
+
+
+def _drone_config(args) -> DroneConfig:
+    return DroneConfig.fast() if args.fast else DroneConfig()
+
+
+def _campaign_kwargs(args) -> dict:
+    return {
+        "seed": args.seed,
+        "repetitions": args.reps,
+        "workers": args.workers,
+        "checkpoint_dir": args.checkpoint_dir,
+        "resume": args.resume,
+    }
+
+
+def _run_fig2(args) -> List[ResultTable]:
+    from repro.experiments.fig2_training import (
+        run_permanent_training_sweep,
+        run_transient_training_heatmap,
+    )
+
+    config = _grid_config(args)
+    bers = grid_ber_sweep()
+    kwargs = _campaign_kwargs(args)
+    return [
+        run_transient_training_heatmap(
+            config, bers, injection_episodes(config.episodes), **kwargs
+        ),
+        run_permanent_training_sweep(config, bers, **kwargs),
+    ]
+
+
+def _run_fig3(args) -> List[SeriesResult]:
+    from repro.experiments.fig3_return_curves import run_return_curves
+
+    return [run_return_curves(_grid_config(args), seed=args.seed)]
+
+
+def _run_fig4(args) -> List[ResultTable]:
+    from repro.experiments.fig4_convergence import (
+        run_permanent_extra_training,
+        run_transient_convergence,
+    )
+
+    config = _grid_config(args)
+    bers = grid_ber_sweep()
+    kwargs = _campaign_kwargs(args)
+    return [
+        run_transient_convergence(config, bers, **kwargs),
+        run_permanent_extra_training(config, bers, **kwargs),
+    ]
+
+
+def _run_fig5(args) -> List[ResultTable]:
+    from repro.experiments.fig5_inference import run_inference_fault_sweep
+
+    return [
+        run_inference_fault_sweep(
+            _grid_config(args), grid_ber_sweep(), **_campaign_kwargs(args)
+        )
+    ]
+
+
+def _run_fig7(args) -> List[ResultTable]:
+    from repro.experiments.fig7_drone import (
+        run_datatype_sweep,
+        run_drone_training_faults,
+        run_environment_comparison,
+        run_fault_location_sweep,
+        run_layer_sweep,
+    )
+
+    config = _drone_config(args)
+    bers = drone_ber_sweep()
+    kwargs = _campaign_kwargs(args)
+    return [
+        run_drone_training_faults(config, bers, **kwargs),
+        run_environment_comparison(config, bers, **kwargs),
+        run_fault_location_sweep(config, bers, **kwargs),
+        run_layer_sweep(config, bers, **kwargs),
+        run_datatype_sweep(config, bers, **kwargs),
+    ]
+
+
+def _run_fig8(args) -> List[ResultTable]:
+    from repro.experiments.fig8_mitigation_training import (
+        run_mitigated_permanent_sweep,
+        run_mitigated_transient_heatmap,
+    )
+
+    config = _grid_config(args)
+    bers = grid_ber_sweep()
+    kwargs = _campaign_kwargs(args)
+    return [
+        run_mitigated_transient_heatmap(
+            config, bers, injection_episodes(config.episodes), **kwargs
+        ),
+        run_mitigated_permanent_sweep(config, bers, **kwargs),
+    ]
+
+
+def _run_fig9(args) -> List[ResultTable]:
+    from repro.experiments.fig9_exploration import (
+        run_exploration_adjustment_sweep,
+        run_recovery_speed_correlation,
+    )
+
+    config = _grid_config(args)
+    kwargs = _campaign_kwargs(args)
+    return [
+        run_exploration_adjustment_sweep(config, grid_ber_sweep(), **kwargs),
+        run_recovery_speed_correlation(config, **kwargs),
+    ]
+
+
+def _run_fig10(args) -> List[ResultTable]:
+    from repro.experiments.fig10_anomaly import (
+        run_drone_anomaly_mitigation,
+        run_gridworld_anomaly_mitigation,
+    )
+
+    kwargs = _campaign_kwargs(args)
+    return [
+        run_gridworld_anomaly_mitigation(_nn_config(args), grid_ber_sweep(), **kwargs),
+        run_drone_anomaly_mitigation(_drone_config(args), drone_ber_sweep(), **kwargs),
+    ]
+
+
+def _run_summary(args) -> List[ResultTable]:
+    from repro.experiments.summary import run_headline_summary
+
+    return [
+        run_headline_summary(
+            grid_config=_nn_config(args),
+            drone_config=_drone_config(args),
+            seed=args.seed,
+            workers=args.workers,
+            checkpoint_dir=args.checkpoint_dir,
+            resume=args.resume,
+        )
+    ]
+
+
+FIGURES = {
+    "fig2": ("training-fault heatmaps (Fig. 2)", _run_fig2),
+    "fig3": ("cumulative-return curves (Fig. 3)", _run_fig3),
+    "fig4": ("post-fault convergence (Fig. 4)", _run_fig4),
+    "fig5": ("inference-fault sweep (Fig. 5)", _run_fig5),
+    "fig7": ("drone fault characterization (Fig. 7)", _run_fig7),
+    "fig8": ("adaptive-exploration mitigation (Fig. 8)", _run_fig8),
+    "fig9": ("exploration adjustment (Fig. 9)", _run_fig9),
+    "fig10": ("anomaly-detection mitigation (Fig. 10)", _run_fig10),
+    "summary": ("headline summary (Sec. 5.2)", _run_summary),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Run a fault-injection figure campaign from the DAC'21 reproduction.",
+        epilog="Figures: "
+        + "; ".join(f"{name} — {desc}" for name, (desc, _) in FIGURES.items()),
+    )
+    parser.add_argument("figure", choices=sorted(FIGURES), help="which figure to reproduce")
+    parser.add_argument(
+        "--approach",
+        choices=("tabular", "nn"),
+        default="tabular",
+        help="Grid World agent for fig2-fig5/fig8/fig9 (default: tabular)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=lambda v: None if v == "" else v,
+        default=None,
+        metavar="N",
+        help="campaign worker processes ('auto' = one per CPU; default: "
+        "REPRO_CAMPAIGN_WORKERS or serial)",
+    )
+    parser.add_argument(
+        "--checkpoint-dir",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="stream per-campaign trial outcomes to JSONL files in DIR",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip trials already recorded under --checkpoint-dir",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="campaign seed (default: 0)")
+    parser.add_argument(
+        "--reps",
+        type=int,
+        default=None,
+        metavar="N",
+        help="campaign repetitions (default: config / REPRO_CAMPAIGN_REPS)",
+    )
+    parser.add_argument(
+        "--fast",
+        action="store_true",
+        help="use the heavily reduced unit-test presets (smoke runs)",
+    )
+    parser.add_argument(
+        "--out-dir",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="also write each result table as JSON into DIR",
+    )
+    return parser
+
+
+def _parse_workers(value) -> Optional[int]:
+    if value is None:
+        return None
+    from repro.core.runner import parse_worker_count
+
+    return parse_worker_count(value)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        args.workers = _parse_workers(args.workers)
+    except ValueError:
+        parser.error(f"--workers must be a positive integer or 'auto', got {args.workers!r}")
+    if args.resume and args.checkpoint_dir is None:
+        parser.error("--resume requires --checkpoint-dir")
+
+    _, run = FIGURES[args.figure]
+    results = run(args)
+
+    for result in results:
+        table = result.as_table() if isinstance(result, SeriesResult) else result
+        print()
+        print(render_table(table))
+        if args.out_dir is not None:
+            args.out_dir.mkdir(parents=True, exist_ok=True)
+            slug = "".join(c if c.isalnum() else "_" for c in result.title).strip("_")
+            result.to_json(args.out_dir / f"{slug}.json")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

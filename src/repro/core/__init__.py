@@ -12,6 +12,8 @@ inference:
   memory buffers and accelerator buffers, plus training-loop hooks.
 * :mod:`repro.core.campaign` — repetition / statistics machinery for
   large-scale fault-injection campaigns.
+* :mod:`repro.core.runner` — serial and multiprocess campaign execution
+  engines with chunked scheduling and checkpoint streaming.
 * :mod:`repro.core.mitigation` — the two mitigation techniques of Sec. 5.
 """
 
@@ -31,6 +33,14 @@ from repro.core.injector import (
     InputFaultInjector,
 )
 from repro.core.campaign import Campaign, CampaignResult, TrialOutcome
+from repro.core.runner import (
+    CampaignRunner,
+    ParallelRunner,
+    SerialRunner,
+    TrialExecutionError,
+    default_workers,
+    make_runner,
+)
 
 __all__ = [
     "FaultType",
@@ -48,4 +58,10 @@ __all__ = [
     "Campaign",
     "CampaignResult",
     "TrialOutcome",
+    "CampaignRunner",
+    "SerialRunner",
+    "ParallelRunner",
+    "TrialExecutionError",
+    "default_workers",
+    "make_runner",
 ]

@@ -7,17 +7,32 @@ Grid World campaign 1000 times for a 95% confidence level within a 1% error
 margin; the repetition count here is configurable (and can be overridden
 globally through the ``REPRO_CAMPAIGN_REPS`` environment variable so the
 benchmark harness can trade accuracy for runtime).
+
+Execution is delegated to a :class:`~repro.core.runner.CampaignRunner`:
+the default :class:`~repro.core.runner.SerialRunner` preserves the original
+in-process behaviour, while :class:`~repro.core.runner.ParallelRunner`
+(selected explicitly or through ``REPRO_CAMPAIGN_WORKERS``) fans trials out
+over a process pool.  Each trial's RNG is spawned from the campaign seed by
+trial index (``SeedSequence.spawn``), so outcomes are bit-identical across
+engines and worker counts.  Passing a
+:class:`~repro.io.results.CampaignCheckpoint` to :meth:`Campaign.run`
+streams outcomes to a JSONL file as they complete, and ``resume=True``
+restarts an interrupted campaign from the trials already on disk.
 """
 
 from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.metrics.statistics import mean_confidence_interval, wilson_confidence_interval
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (io imports campaign)
+    from repro.core.runner import CampaignRunner
+    from repro.io.results import CampaignCheckpoint
 
 __all__ = ["TrialOutcome", "CampaignResult", "Campaign", "default_repetitions"]
 
@@ -47,6 +62,24 @@ class TrialOutcome:
     metric: Optional[float] = None
     extras: Dict[str, float] = field(default_factory=dict)
 
+    def to_json_dict(self) -> Dict[str, object]:
+        """JSON-safe representation (used by campaign checkpoints)."""
+        return {
+            "success": self.success,
+            "metric": self.metric,
+            "extras": dict(self.extras),
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: Dict[str, object]) -> "TrialOutcome":
+        success = data.get("success")
+        metric = data.get("metric")
+        return cls(
+            success=None if success is None else bool(success),
+            metric=None if metric is None else float(metric),
+            extras={str(k): float(v) for k, v in dict(data.get("extras") or {}).items()},
+        )
+
 
 @dataclass
 class CampaignResult:
@@ -61,19 +94,33 @@ class CampaignResult:
 
     # -- success-rate statistics ---------------------------------------- #
     @property
+    def graded_outcomes(self) -> List[TrialOutcome]:
+        """Trials that recorded a pass/fail verdict (``success is not None``).
+
+        Metric-only trials report ``success=None``; every success statistic
+        (:attr:`num_successes`, :attr:`success_rate`,
+        :meth:`success_confidence`) is computed over this graded subset so
+        the counts and rates stay mutually consistent.
+        """
+        return [o for o in self.outcomes if o.success is not None]
+
+    @property
+    def num_graded(self) -> int:
+        return len(self.graded_outcomes)
+
+    @property
     def num_successes(self) -> int:
-        return sum(1 for o in self.outcomes if o.success)
+        return sum(1 for o in self.graded_outcomes if o.success)
 
     @property
     def success_rate(self) -> float:
-        graded = [o for o in self.outcomes if o.success is not None]
+        graded = self.graded_outcomes
         if not graded:
             raise ValueError(f"campaign {self.name!r} recorded no success outcomes")
-        return sum(1 for o in graded if o.success) / len(graded)
+        return self.num_successes / len(graded)
 
     def success_confidence(self) -> Tuple[float, float]:
-        graded = [o for o in self.outcomes if o.success is not None]
-        return wilson_confidence_interval(sum(1 for o in graded if o.success), len(graded))
+        return wilson_confidence_interval(self.num_successes, self.num_graded)
 
     # -- metric statistics ---------------------------------------------- #
     @property
@@ -100,7 +147,7 @@ class CampaignResult:
     def summary(self) -> Dict[str, float]:
         """Compact summary for result tables."""
         out: Dict[str, float] = {"repetitions": self.repetitions}
-        if any(o.success is not None for o in self.outcomes):
+        if self.num_graded:
             out["success_rate"] = self.success_rate
             lo, hi = self.success_confidence()
             out["success_ci_low"], out["success_ci_high"] = lo, hi
@@ -111,6 +158,9 @@ class CampaignResult:
 
 #: A trial function receives an independent RNG and returns one outcome.
 TrialFn = Callable[[np.random.Generator], TrialOutcome]
+
+#: Progress callback: (trials completed so far, total trials).
+ProgressFn = Callable[[int, int], None]
 
 
 class Campaign:
@@ -123,16 +173,83 @@ class Campaign:
         self.repetitions = repetitions
         self.seed = seed
 
-    def run(self, trial_fn: TrialFn) -> CampaignResult:
-        """Execute the campaign and return the aggregated result."""
+    def trial_seeds(self) -> List[np.random.SeedSequence]:
+        """One ``SeedSequence`` child per trial, indexed by trial number."""
+        return np.random.SeedSequence(self.seed).spawn(self.repetitions)
+
+    def run(
+        self,
+        trial_fn: TrialFn,
+        runner: Optional["CampaignRunner"] = None,
+        progress: Optional[ProgressFn] = None,
+        checkpoint: Union["CampaignCheckpoint", str, os.PathLike, None] = None,
+        resume: bool = False,
+    ) -> CampaignResult:
+        """Execute the campaign and return the aggregated result.
+
+        Parameters
+        ----------
+        runner:
+            Execution engine; ``None`` resolves through
+            :func:`repro.core.runner.make_runner` (serial unless
+            ``REPRO_CAMPAIGN_WORKERS`` requests a pool).
+        progress:
+            Called with ``(completed, total)`` after every finished trial,
+            counting trials restored from a checkpoint as already completed.
+        checkpoint:
+            A :class:`~repro.io.results.CampaignCheckpoint` (or a path to
+            one) that receives each outcome as a JSONL line as it completes.
+        resume:
+            When true and the checkpoint already holds outcomes for this
+            campaign, only the missing trials are executed.  When false any
+            existing checkpoint file is overwritten.
+        """
+        from repro.core.runner import make_runner
+
+        if runner is None:
+            runner = make_runner()
+        checkpoint = _coerce_checkpoint(checkpoint)
+        if resume and checkpoint is None:
+            raise ValueError(
+                "resume=True requires a checkpoint; without one every trial "
+                "would silently be recomputed"
+            )
+
+        seeds = self.trial_seeds()
+        completed: Dict[int, TrialOutcome] = {}
+        if checkpoint is not None:
+            if resume:
+                completed = checkpoint.load(self)
+            else:
+                checkpoint.reset(self)
+
+        pending = [(i, seeds[i]) for i in range(self.repetitions) if i not in completed]
+        total = self.repetitions
+        done = total - len(pending)
+        if progress is not None and done:
+            progress(done, total)
+
+        def on_result(index: int, outcome: TrialOutcome) -> None:
+            nonlocal done
+            done += 1
+            if checkpoint is not None:
+                checkpoint.append(index, outcome)
+            if progress is not None:
+                progress(done, total)
+
+        for index, outcome in runner.run_trials(trial_fn, pending, on_result=on_result):
+            completed[index] = outcome
+
         result = CampaignResult(name=self.name)
-        seeds = np.random.SeedSequence(self.seed).spawn(self.repetitions)
-        for child in seeds:
-            rng = np.random.default_rng(child)
-            outcome = trial_fn(rng)
-            if not isinstance(outcome, TrialOutcome):
-                raise TypeError(
-                    f"trial function must return TrialOutcome, got {type(outcome).__name__}"
-                )
-            result.outcomes.append(outcome)
+        result.outcomes = [completed[i] for i in range(self.repetitions)]
         return result
+
+
+def _coerce_checkpoint(checkpoint):
+    if checkpoint is None:
+        return None
+    if isinstance(checkpoint, (str, os.PathLike)):
+        from repro.io.results import CampaignCheckpoint
+
+        return CampaignCheckpoint(checkpoint)
+    return checkpoint

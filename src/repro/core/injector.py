@@ -17,6 +17,7 @@ inference-time activation/input injection as buffer hooks for
 
 from __future__ import annotations
 
+import logging
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -37,6 +38,8 @@ __all__ = [
     "InputFaultInjector",
     "inject_weight_faults",
 ]
+
+logger = logging.getLogger(__name__)
 
 
 class FaultInjector:
@@ -185,6 +188,12 @@ class ActivationFaultInjector:
     (dynamic injection — activations are input-dependent, Sec. 3.3);
     ``mode="permanent"`` samples sites once per buffer and re-applies the
     same stuck-at pattern on every pass.
+
+    Activation buffers are rewritten per forward pass and their size tracks
+    the batch size, so a permanent pattern can stop fitting when a smaller
+    batch shrinks its buffer.  Such patterns are resampled; each resample is
+    logged and counted in :attr:`resample_count` because the new pattern no
+    longer pins the *same* physical sites as the old one.
     """
 
     def __init__(
@@ -204,6 +213,7 @@ class ActivationFaultInjector:
         self.rng = rng or np.random.default_rng()
         self._patterns: Dict[str, FaultPattern] = {}
         self.injection_count = 0
+        self.resample_count = 0
 
     def _targets(self, layer: Optional[Layer]) -> bool:
         if layer is None:
@@ -219,7 +229,19 @@ class ActivationFaultInjector:
             self.fault_model.inject(tensor, self.rng)
         else:
             pattern = self._patterns.get(tensor.name)
-            if pattern is None or pattern.element_indices.max(initial=-1) >= tensor.size:
+            if pattern is not None and pattern.element_indices.max(initial=-1) >= tensor.size:
+                self.resample_count += 1
+                logger.warning(
+                    "permanent fault pattern for buffer %r no longer fits "
+                    "(max element %d >= buffer size %d, likely a smaller batch); "
+                    "resampling fault sites (resample #%d)",
+                    tensor.name,
+                    int(pattern.element_indices.max()),
+                    tensor.size,
+                    self.resample_count,
+                )
+                pattern = None
+            if pattern is None:
                 pattern = self.fault_model.sample_pattern(tensor, self.rng)
                 self._patterns[tensor.name] = pattern
             pattern.apply(tensor)

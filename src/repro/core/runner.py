@@ -1,0 +1,249 @@
+"""Campaign execution engines (serial and multiprocess).
+
+A :class:`CampaignRunner` executes the independently seeded trials of a
+:class:`~repro.core.campaign.Campaign`.  Two engines are provided:
+
+* :class:`SerialRunner` — runs trials in-process, in index order (the
+  original ``Campaign.run`` behaviour and the default).
+* :class:`ParallelRunner` — fans trials out over a ``multiprocessing`` pool.
+  Every trial draws its RNG from its *own* ``SeedSequence`` child, spawned
+  from the campaign seed by trial index, so the outcomes are bit-identical
+  to a serial run regardless of worker count or completion order.
+
+Trials are scheduled in chunks to amortize inter-process messaging, results
+are streamed back through an ``on_result`` callback (which is how campaign
+checkpoints are written incrementally), and a trial that raises inside a
+worker surfaces in the parent as :class:`TrialExecutionError` carrying the
+trial index and the worker traceback.
+
+The default worker count is read from the ``REPRO_CAMPAIGN_WORKERS``
+environment variable (``"auto"`` means one worker per CPU), mirroring how
+``REPRO_CAMPAIGN_REPS`` controls repetition counts.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import sys
+import traceback
+from typing import Callable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+__all__ = [
+    "TrialExecutionError",
+    "CampaignRunner",
+    "SerialRunner",
+    "ParallelRunner",
+    "default_workers",
+    "parse_worker_count",
+    "make_runner",
+    "WORKERS_ENV_VAR",
+]
+
+#: Environment variable selecting the default campaign worker count.
+WORKERS_ENV_VAR = "REPRO_CAMPAIGN_WORKERS"
+
+#: A scheduled trial: (trial index, seed sequence for that trial).
+TrialTask = Tuple[int, np.random.SeedSequence]
+
+#: Callback fired as each trial completes: (trial index, outcome).
+ResultCallback = Callable[[int, "TrialOutcome"], None]
+
+
+def parse_worker_count(value: Union[str, int], what: str = "workers") -> int:
+    """Parse a worker count: a positive integer or ``"auto"`` (one per CPU)."""
+    if not isinstance(value, int):
+        if str(value).strip().lower() == "auto":
+            return os.cpu_count() or 1
+        try:
+            value = int(value)
+        except ValueError as exc:
+            raise ValueError(
+                f"{what} must be a positive integer or 'auto', got {value!r}"
+            ) from exc
+    if value <= 0:
+        raise ValueError(f"{what} must be positive, got {value}")
+    return value
+
+
+def default_workers() -> int:
+    """Default campaign worker count: ``REPRO_CAMPAIGN_WORKERS`` or 1."""
+    value = os.environ.get(WORKERS_ENV_VAR)
+    if value is None:
+        return 1
+    return parse_worker_count(value, what=WORKERS_ENV_VAR)
+
+
+def make_runner(workers: Optional[int] = None) -> "CampaignRunner":
+    """Build a runner for ``workers`` processes (``None`` → environment default)."""
+    if workers is None:
+        workers = default_workers()
+    if workers <= 0:
+        raise ValueError(f"workers must be positive, got {workers}")
+    if workers == 1:
+        return SerialRunner()
+    return ParallelRunner(workers=workers)
+
+
+class TrialExecutionError(RuntimeError):
+    """A campaign trial raised; carries the trial index and worker traceback."""
+
+    def __init__(self, trial_index: int, message: str, worker_traceback: str = "") -> None:
+        super().__init__(f"trial {trial_index} failed: {message}")
+        self.trial_index = trial_index
+        self.worker_traceback = worker_traceback
+
+
+def _validated(outcome, trial_index: int):
+    from repro.core.campaign import TrialOutcome
+
+    if not isinstance(outcome, TrialOutcome):
+        raise TypeError(
+            f"trial function must return TrialOutcome, got {type(outcome).__name__} "
+            f"(trial {trial_index})"
+        )
+    return outcome
+
+
+class CampaignRunner:
+    """Executes a batch of independently seeded campaign trials."""
+
+    def run_trials(
+        self,
+        trial_fn,
+        tasks: Sequence[TrialTask],
+        on_result: Optional[ResultCallback] = None,
+    ) -> List[Tuple[int, "TrialOutcome"]]:
+        """Run every ``(index, seed)`` task; return ``(index, outcome)`` pairs.
+
+        The returned list is ordered by trial index.  ``on_result`` is called
+        once per trial in *completion* order (which for parallel engines may
+        differ from index order).
+        """
+        raise NotImplementedError
+
+
+class SerialRunner(CampaignRunner):
+    """Runs trials one after another in the calling process."""
+
+    def run_trials(
+        self,
+        trial_fn,
+        tasks: Sequence[TrialTask],
+        on_result: Optional[ResultCallback] = None,
+    ) -> List[Tuple[int, "TrialOutcome"]]:
+        results: List[Tuple[int, "TrialOutcome"]] = []
+        for index, seed in tasks:
+            rng = np.random.default_rng(seed)
+            outcome = _validated(trial_fn(rng), index)
+            results.append((index, outcome))
+            if on_result is not None:
+                on_result(index, outcome)
+        return results
+
+
+# --------------------------------------------------------------------------- #
+# Multiprocess engine
+# --------------------------------------------------------------------------- #
+# The trial function is installed once per worker by the pool initializer.
+# Under the (default) fork start method the closure travels to the worker via
+# the process image rather than pickle, so arbitrary trial closures work; the
+# spawn fallback requires a picklable trial function.
+_WORKER_TRIAL_FN = None
+
+
+def _init_worker(trial_fn) -> None:
+    global _WORKER_TRIAL_FN
+    _WORKER_TRIAL_FN = trial_fn
+
+
+def _run_remote_trial(task: TrialTask):
+    """Worker-side trial execution; exceptions are shipped back as data."""
+    index, seed = task
+    try:
+        rng = np.random.default_rng(seed)
+        outcome = _validated(_WORKER_TRIAL_FN(rng), index)
+        return index, outcome, None
+    except Exception as exc:  # surfaced as TrialExecutionError in the parent;
+        # KeyboardInterrupt/SystemExit must keep killing the worker normally.
+        return index, None, (f"{type(exc).__name__}: {exc}", traceback.format_exc())
+
+
+class ParallelRunner(CampaignRunner):
+    """Runs trials on a ``multiprocessing`` pool.
+
+    Parameters
+    ----------
+    workers:
+        Process count (``None`` → one per CPU).
+    chunk_size:
+        Trials handed to a worker per scheduling round; ``None`` picks a
+        chunk that gives each worker several rounds (for progress reporting)
+        while amortizing IPC.
+    start_method:
+        ``multiprocessing`` start method.  Defaults to ``"fork"`` on Linux
+        (required for closure trial functions) and to the platform default
+        elsewhere — forking is unsafe on macOS, whose default is ``"spawn"``,
+        which needs picklable trial functions.
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        chunk_size: Optional[int] = None,
+        start_method: Optional[str] = None,
+    ) -> None:
+        if workers is not None and workers <= 0:
+            raise ValueError(f"workers must be positive, got {workers}")
+        if chunk_size is not None and chunk_size <= 0:
+            raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+        self.workers = workers or (os.cpu_count() or 1)
+        self.chunk_size = chunk_size
+        if start_method is None:
+            if sys.platform.startswith("linux") and "fork" in multiprocessing.get_all_start_methods():
+                start_method = "fork"
+            else:
+                start_method = multiprocessing.get_start_method()
+        self.start_method = start_method
+
+    def _resolve_chunk_size(self, n_tasks: int) -> int:
+        if self.chunk_size is not None:
+            return self.chunk_size
+        # ~4 scheduling rounds per worker keeps the pool busy near the tail
+        # of a campaign while still batching IPC.
+        return max(1, n_tasks // (self.workers * 4))
+
+    def run_trials(
+        self,
+        trial_fn,
+        tasks: Sequence[TrialTask],
+        on_result: Optional[ResultCallback] = None,
+    ) -> List[Tuple[int, "TrialOutcome"]]:
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        ctx = multiprocessing.get_context(self.start_method)
+        chunk = self._resolve_chunk_size(len(tasks))
+        results: List[Tuple[int, "TrialOutcome"]] = []
+        pool = ctx.Pool(
+            processes=min(self.workers, len(tasks)),
+            initializer=_init_worker,
+            initargs=(trial_fn,),
+        )
+        try:
+            for index, outcome, error in pool.imap_unordered(
+                _run_remote_trial, tasks, chunksize=chunk
+            ):
+                if error is not None:
+                    message, worker_tb = error
+                    raise TrialExecutionError(index, message, worker_tb)
+                results.append((index, outcome))
+                if on_result is not None:
+                    on_result(index, outcome)
+        finally:
+            pool.terminate()
+            pool.join()
+        results.sort(key=lambda pair: pair[0])
+        return results

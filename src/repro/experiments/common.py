@@ -4,14 +4,26 @@ These helpers construct environments and agents from the config presets,
 train clean baseline policies, and wrap them as greedy evaluation policies.
 The drone policy is pre-trained once per process and cached, because every
 drone experiment (Fig. 7b-e, Fig. 10b) starts from the same clean policy.
+
+:func:`run_campaign` is the single entry point the drivers use to execute a
+campaign: it resolves the execution engine (serial by default, a process
+pool when ``workers`` / ``REPRO_CAMPAIGN_WORKERS`` asks for one) and wires
+up a per-campaign JSONL checkpoint under ``checkpoint_dir`` so interrupted
+sweeps can be resumed with ``resume=True``.
 """
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, Optional, Tuple
+from pathlib import Path
+from typing import Callable, Dict, Iterable, Optional, Tuple, Union
 
 import numpy as np
+
+from repro.core.campaign import Campaign, CampaignResult, ProgressFn, TrialFn
+from repro.core.runner import CampaignRunner, make_runner
+from repro.io.results import CampaignCheckpoint
 
 from repro.envs.drone import DroneNavEnv, make_drone_env
 from repro.envs.drone.expert import GreedyDepthExpert, collect_dataset
@@ -34,6 +46,8 @@ from repro.rl.evaluation import evaluate_mean_metric
 from repro.rl.imitation import behaviour_clone
 
 __all__ = [
+    "run_campaign",
+    "campaign_checkpoint_path",
     "build_tabular_agent",
     "build_nn_agent",
     "make_train_eval_envs",
@@ -48,6 +62,44 @@ __all__ = [
 ]
 
 Policy = Callable[[object], int]
+
+
+# --------------------------------------------------------------------------- #
+# Campaign execution
+# --------------------------------------------------------------------------- #
+def campaign_checkpoint_path(campaign_name: str, checkpoint_dir: Union[str, Path]) -> Path:
+    """Checkpoint file for one named campaign (name sanitized for filesystems)."""
+    safe = re.sub(r"[^\w.+-]+", "_", campaign_name)
+    return Path(checkpoint_dir) / f"{safe}.jsonl"
+
+
+def run_campaign(
+    campaign: Campaign,
+    trial_fn: TrialFn,
+    *,
+    runner: Optional[CampaignRunner] = None,
+    workers: Optional[int] = None,
+    checkpoint_dir: Union[str, Path, None] = None,
+    resume: bool = False,
+    progress: Optional[ProgressFn] = None,
+) -> CampaignResult:
+    """Execute a campaign with the experiment-level runner / checkpoint knobs.
+
+    ``runner`` wins over ``workers``; with neither, the engine comes from
+    ``REPRO_CAMPAIGN_WORKERS`` (serial by default).  When ``checkpoint_dir``
+    is given, outcomes stream to ``<checkpoint_dir>/<campaign name>.jsonl``
+    and ``resume=True`` skips trials already recorded there.
+    """
+    if runner is None:
+        runner = make_runner(workers)
+    checkpoint = None
+    if checkpoint_dir is not None:
+        checkpoint = CampaignCheckpoint(
+            campaign_checkpoint_path(campaign.name, checkpoint_dir)
+        )
+    return campaign.run(
+        trial_fn, runner=runner, progress=progress, checkpoint=checkpoint, resume=resume
+    )
 
 
 # --------------------------------------------------------------------------- #

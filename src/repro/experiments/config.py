@@ -9,6 +9,8 @@ be scaled back up:
 * ``REPRO_SCALE`` environment variable: ``"small"`` (default), ``"medium"``
   or ``"paper"`` — controls repetition counts and sweep densities.
 * ``REPRO_CAMPAIGN_REPS``: overrides campaign repetitions everywhere.
+* ``REPRO_CAMPAIGN_WORKERS``: campaign worker processes (``"auto"`` = one
+  per CPU); every driver also accepts an explicit ``workers`` argument.
 """
 
 from __future__ import annotations
@@ -21,6 +23,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from repro.core.campaign import default_repetitions
+from repro.core.runner import WORKERS_ENV_VAR, default_workers
 from repro.quant.qformat import Q8_GRID, Q16_NARROW, QFormat
 
 __all__ = [
@@ -29,6 +32,8 @@ __all__ = [
     "GridTabularConfig",
     "GridNNConfig",
     "DroneConfig",
+    "default_workers",
+    "WORKERS_ENV_VAR",
 ]
 
 #: Environment variable selecting the experiment scale preset.

@@ -18,9 +18,11 @@ from repro.core.campaign import Campaign, TrialOutcome
 from repro.core.fault_models import TransientBitFlip
 from repro.core.injector import inject_weight_faults
 from repro.core.mitigation.anomaly import RangeAnomalyDetector
+from repro.core.runner import make_runner
 from repro.experiments.common import (
     build_drone_bundle,
     evaluate_drone_msf,
+    run_campaign,
     train_grid_nn,
 )
 from repro.experiments.config import DroneConfig, GridNNConfig
@@ -39,9 +41,13 @@ def run_gridworld_anomaly_mitigation(
     seed: int = 0,
     repetitions: Optional[int] = None,
     episodes_per_trial: int = 5,
+    workers: Optional[int] = None,
+    checkpoint_dir=None,
+    resume: bool = False,
 ) -> ResultTable:
     """Fig. 10a — Grid World NN inference success rate, mitigation on vs off."""
     repetitions = repetitions or config.repetitions
+    runner = make_runner(workers)
     rng = np.random.default_rng(seed)
     agent, eval_env, _ = train_grid_nn(config, rng)
 
@@ -74,9 +80,13 @@ def run_gridworld_anomaly_mitigation(
                     executor.restore_clean_weights()
 
             label = "mitigated" if mitigation else "no-mitigation"
-            result = Campaign(
-                f"fig10a-{label}-ber{ber}", repetitions, seed=seed + 1
-            ).run(trial)
+            result = run_campaign(
+                Campaign(f"fig10a-{label}-ber{ber}", repetitions, seed=seed + 1),
+                trial,
+                runner=runner,
+                checkpoint_dir=checkpoint_dir,
+                resume=resume,
+            )
             table.add(
                 mitigation=mitigation,
                 bit_error_rate=ber,
@@ -92,9 +102,13 @@ def run_drone_anomaly_mitigation(
     margin: float = 0.1,
     seed: int = 0,
     repetitions: Optional[int] = None,
+    workers: Optional[int] = None,
+    checkpoint_dir=None,
+    resume: bool = False,
 ) -> ResultTable:
     """Fig. 10b — drone flight distance under weight faults, mitigation on vs off."""
     repetitions = repetitions or config.repetitions
+    runner = make_runner(workers)
     bundle = build_drone_bundle(config, seed=seed)
 
     table = ResultTable(title="Fig10b drone anomaly-detection mitigation")
@@ -121,9 +135,13 @@ def run_drone_anomaly_mitigation(
                     executor.restore_clean_weights()
 
             label = "mitigated" if mitigation else "no-mitigation"
-            result = Campaign(
-                f"fig10b-{label}-ber{ber}", repetitions, seed=seed + 2
-            ).run(trial)
+            result = run_campaign(
+                Campaign(f"fig10b-{label}-ber{ber}", repetitions, seed=seed + 2),
+                trial,
+                runner=runner,
+                checkpoint_dir=checkpoint_dir,
+                resume=resume,
+            )
             table.add(
                 mitigation=mitigation,
                 bit_error_rate=ber,

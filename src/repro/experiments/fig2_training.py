@@ -15,10 +15,12 @@ import numpy as np
 
 from repro.core.campaign import Campaign, TrialOutcome
 from repro.core.injector import PermanentTrainingFaultHook, TransientTrainingFaultHook
+from repro.core.runner import make_runner
 from repro.core.sites import BufferSelector
 from repro.experiments.common import (
     evaluate_grid_policy,
     greedy_policy,
+    run_campaign,
     train_grid_nn,
     train_tabular,
 )
@@ -60,10 +62,14 @@ def run_transient_training_heatmap(
     injection_episodes: Sequence[int],
     seed: int = 0,
     repetitions: Optional[int] = None,
+    workers: Optional[int] = None,
+    checkpoint_dir=None,
+    resume: bool = False,
 ) -> ResultTable:
     """Success rate after training with a transient fault at each (BER, episode)."""
     approach = "nn" if isinstance(config, GridNNConfig) else "tabular"
     repetitions = repetitions or config.repetitions
+    runner = make_runner(workers)
     table = ResultTable(title=f"Fig2 transient training heatmap ({approach})")
     for ber in bit_error_rates:
         for episode in injection_episodes:
@@ -81,7 +87,9 @@ def run_transient_training_heatmap(
             campaign = Campaign(
                 f"fig2-{approach}-transient-ber{ber}-ep{episode}", repetitions, seed=seed
             )
-            result = campaign.run(trial)
+            result = run_campaign(
+                campaign, trial, runner=runner, checkpoint_dir=checkpoint_dir, resume=resume
+            )
             table.add(
                 approach=approach,
                 fault_type="transient",
@@ -98,10 +106,14 @@ def run_permanent_training_sweep(
     bit_error_rates: Sequence[float],
     seed: int = 0,
     repetitions: Optional[int] = None,
+    workers: Optional[int] = None,
+    checkpoint_dir=None,
+    resume: bool = False,
 ) -> ResultTable:
     """Success rate after training under stuck-at-0 / stuck-at-1 faults."""
     approach = "nn" if isinstance(config, GridNNConfig) else "tabular"
     repetitions = repetitions or config.repetitions
+    runner = make_runner(workers)
     table = ResultTable(title=f"Fig2 permanent training sweep ({approach})")
     for stuck_value in (0, 1):
         for ber in bit_error_rates:
@@ -117,7 +129,9 @@ def run_permanent_training_sweep(
             campaign = Campaign(
                 f"fig2-{approach}-sa{stuck_value}-ber{ber}", repetitions, seed=seed
             )
-            result = campaign.run(trial)
+            result = run_campaign(
+                campaign, trial, runner=runner, checkpoint_dir=checkpoint_dir, resume=resume
+            )
             table.add(
                 approach=approach,
                 fault_type=f"stuck-at-{stuck_value}",

@@ -18,9 +18,11 @@ import numpy as np
 
 from repro.core.campaign import Campaign, TrialOutcome
 from repro.core.injector import PermanentTrainingFaultHook, TransientTrainingFaultHook
+from repro.core.runner import make_runner
 from repro.experiments.common import (
     evaluate_grid_policy,
     greedy_policy,
+    run_campaign,
     train_grid_nn,
     train_tabular,
 )
@@ -47,6 +49,9 @@ def run_transient_convergence(
     convergence_threshold: float = 0.9,
     seed: int = 0,
     repetitions: Optional[int] = None,
+    workers: Optional[int] = None,
+    checkpoint_dir=None,
+    resume: bool = False,
 ) -> ResultTable:
     """Episodes needed to converge back after a late transient fault (Fig. 4a/4c).
 
@@ -59,6 +64,7 @@ def run_transient_convergence(
     inject_episode = int(config.episodes * injection_fraction)
     extra = extra_episodes if extra_episodes is not None else config.episodes
     total_episodes = inject_episode + extra
+    runner = make_runner(workers)
     table = ResultTable(title=f"Fig4 transient convergence ({approach})")
 
     for ber in bit_error_rates:
@@ -80,7 +86,9 @@ def run_transient_convergence(
             )
 
         campaign = Campaign(f"fig4-{approach}-transient-ber{ber}", repetitions, seed=seed)
-        result = campaign.run(trial)
+        result = run_campaign(
+            campaign, trial, runner=runner, checkpoint_dir=checkpoint_dir, resume=resume
+        )
         table.add(
             approach=approach,
             bit_error_rate=ber,
@@ -111,10 +119,14 @@ def run_permanent_extra_training(
     extra_episode_grid: Sequence[int] = (1000, 2000),
     seed: int = 0,
     repetitions: Optional[int] = None,
+    workers: Optional[int] = None,
+    checkpoint_dir=None,
+    resume: bool = False,
 ) -> ResultTable:
     """Success rate after extended training under stuck-at faults (Fig. 4b/4d)."""
     approach = "nn" if isinstance(config, GridNNConfig) else "tabular"
     repetitions = repetitions or config.repetitions
+    runner = make_runner(workers)
     table = ResultTable(title=f"Fig4 permanent extra training ({approach})")
 
     for stuck_value in (0, 1):
@@ -142,7 +154,9 @@ def run_permanent_extra_training(
                     repetitions,
                     seed=seed,
                 )
-                result = campaign.run(trial)
+                result = run_campaign(
+                    campaign, trial, runner=runner, checkpoint_dir=checkpoint_dir, resume=resume
+                )
                 table.add(
                     approach=approach,
                     fault_type=f"stuck-at-{stuck_value}",

@@ -21,8 +21,10 @@ import numpy as np
 
 from repro.core.campaign import Campaign, TrialOutcome
 from repro.core.fault_models import StuckAtFault, TransientBitFlip
+from repro.core.runner import make_runner
 from repro.experiments.common import (
     greedy_policy,
+    run_campaign,
     train_grid_nn,
     train_tabular,
 )
@@ -52,8 +54,15 @@ def _tabular_episode(
     rng: np.random.Generator,
     max_steps: int,
 ) -> bool:
-    """Run one inference episode of the tabular policy under the given fault mode."""
-    working = agent.clone()
+    """Run one inference episode of the tabular policy under the given fault mode.
+
+    ``agent`` is shared across every trial of the sweep, so all per-episode
+    randomness — including the clones' RNGs — must come from the trial
+    ``rng``.  Drawing from the shared agent's RNG here would make trial
+    outcomes depend on execution order, breaking parallel/serial and
+    checkpoint-resume reproducibility.
+    """
+    working = agent.clone(rng=np.random.default_rng(rng.integers(2**63)))
     table = working.memory_buffers()["qtable"]
     if mode == "transient-m":
         TransientBitFlip(ber).inject(table, rng)
@@ -68,7 +77,7 @@ def _tabular_episode(
         if step == fault_step and ber > 0:
             # Corrupt only this decision: flip bits in a scratch copy of the
             # table, pick the action from it, then continue with clean values.
-            scratch = agent.clone()
+            scratch = agent.clone(rng=np.random.default_rng(rng.integers(2**63)))
             TransientBitFlip(ber).inject(scratch.memory_buffers()["qtable"], rng)
             action = scratch.select_action(state, explore=False)
         else:
@@ -141,6 +150,9 @@ def run_inference_fault_sweep(
     seed: int = 0,
     repetitions: Optional[int] = None,
     episodes_per_trial: int = 5,
+    workers: Optional[int] = None,
+    checkpoint_dir=None,
+    resume: bool = False,
 ) -> ResultTable:
     """Success rate vs BER for each inference fault mode (Fig. 5a / 5b)."""
     for mode in fault_modes:
@@ -148,6 +160,7 @@ def run_inference_fault_sweep(
             raise ValueError(f"unknown fault mode {mode!r}; choose from {INFERENCE_FAULT_MODES}")
     approach = "nn" if isinstance(config, GridNNConfig) else "tabular"
     repetitions = repetitions or config.repetitions
+    runner = make_runner(workers)
 
     rng = np.random.default_rng(seed)
     if approach == "nn":
@@ -185,7 +198,9 @@ def run_inference_fault_sweep(
             campaign = Campaign(
                 f"fig5-{approach}-{mode}-ber{ber}", repetitions, seed=seed + 1
             )
-            result = campaign.run(trial)
+            result = run_campaign(
+                campaign, trial, runner=runner, checkpoint_dir=checkpoint_dir, resume=resume
+            )
             table.add(
                 approach=approach,
                 fault_mode=mode,

@@ -25,11 +25,13 @@ from repro.core.injector import (
     TransientTrainingFaultHook,
     inject_weight_faults,
 )
+from repro.core.runner import make_runner
 from repro.core.sites import BufferSelector
 from repro.experiments.common import (
     DronePolicyBundle,
     build_drone_bundle,
     evaluate_drone_msf,
+    run_campaign,
 )
 from repro.experiments.config import DroneConfig
 from repro.io.results import ResultTable
@@ -92,9 +94,13 @@ def run_environment_comparison(
     environments: Sequence[str] = ("indoor-long", "indoor-vanleer"),
     seed: int = 0,
     repetitions: Optional[int] = None,
+    workers: Optional[int] = None,
+    checkpoint_dir=None,
+    resume: bool = False,
 ) -> ResultTable:
     """Fig. 7b — MSF vs BER for transient weight faults in each environment."""
     repetitions = repetitions or config.repetitions
+    runner = make_runner(workers)
     bundle = build_drone_bundle(config, seed=seed)
     table = ResultTable(title="Fig7b drone inference: environment comparison")
     for env_name in environments:
@@ -105,9 +111,13 @@ def run_environment_comparison(
                 )
                 return TrialOutcome(metric=msf)
 
-            result = Campaign(
-                f"fig7b-{env_name}-ber{ber}", repetitions, seed=seed + 1
-            ).run(trial)
+            result = run_campaign(
+                Campaign(f"fig7b-{env_name}-ber{ber}", repetitions, seed=seed + 1),
+                trial,
+                runner=runner,
+                checkpoint_dir=checkpoint_dir,
+                resume=resume,
+            )
             table.add(
                 environment=env_name,
                 bit_error_rate=ber,
@@ -122,9 +132,13 @@ def run_fault_location_sweep(
     bit_error_rates: Sequence[float],
     seed: int = 0,
     repetitions: Optional[int] = None,
+    workers: Optional[int] = None,
+    checkpoint_dir=None,
+    resume: bool = False,
 ) -> ResultTable:
     """Fig. 7c — MSF vs BER per fault location (input / weight / act-T / act-P)."""
     repetitions = repetitions or config.repetitions
+    runner = make_runner(workers)
     bundle = build_drone_bundle(config, seed=seed)
     table = ResultTable(title="Fig7c drone inference: fault location")
     locations = ("input", "weight", "activation-transient", "activation-permanent")
@@ -157,9 +171,13 @@ def run_fault_location_sweep(
                 )
                 return TrialOutcome(metric=msf)
 
-            result = Campaign(
-                f"fig7c-{location}-ber{ber}", repetitions, seed=seed + 2
-            ).run(trial)
+            result = run_campaign(
+                Campaign(f"fig7c-{location}-ber{ber}", repetitions, seed=seed + 2),
+                trial,
+                runner=runner,
+                checkpoint_dir=checkpoint_dir,
+                resume=resume,
+            )
             table.add(
                 location=location,
                 bit_error_rate=ber,
@@ -175,9 +193,13 @@ def run_layer_sweep(
     layers: Sequence[str] = C3F2_LAYER_NAMES,
     seed: int = 0,
     repetitions: Optional[int] = None,
+    workers: Optional[int] = None,
+    checkpoint_dir=None,
+    resume: bool = False,
 ) -> ResultTable:
     """Fig. 7d — MSF vs BER with transient weight faults confined to one layer."""
     repetitions = repetitions or config.repetitions
+    runner = make_runner(workers)
     bundle = build_drone_bundle(config, seed=seed)
     table = ResultTable(title="Fig7d drone inference: per-layer sensitivity")
     for layer in layers:
@@ -192,9 +214,13 @@ def run_layer_sweep(
                 )
                 return TrialOutcome(metric=msf)
 
-            result = Campaign(
-                f"fig7d-{layer}-ber{ber}", repetitions, seed=seed + 3
-            ).run(trial)
+            result = run_campaign(
+                Campaign(f"fig7d-{layer}-ber{ber}", repetitions, seed=seed + 3),
+                trial,
+                runner=runner,
+                checkpoint_dir=checkpoint_dir,
+                resume=resume,
+            )
             table.add(
                 layer=layer,
                 bit_error_rate=ber,
@@ -210,9 +236,13 @@ def run_datatype_sweep(
     qformats: Sequence[QFormat] = (Q16_NARROW, Q16_MID, Q16_WIDE),
     seed: int = 0,
     repetitions: Optional[int] = None,
+    workers: Optional[int] = None,
+    checkpoint_dir=None,
+    resume: bool = False,
 ) -> ResultTable:
     """Fig. 7e — MSF vs BER for each fixed-point weight data type."""
     repetitions = repetitions or config.repetitions
+    runner = make_runner(workers)
     bundle = build_drone_bundle(config, seed=seed)
     table = ResultTable(title="Fig7e drone inference: data type")
     for qformat in qformats:
@@ -227,9 +257,13 @@ def run_datatype_sweep(
                 )
                 return TrialOutcome(metric=msf)
 
-            result = Campaign(
-                f"fig7e-{qformat}-ber{ber}", repetitions, seed=seed + 4
-            ).run(trial)
+            result = run_campaign(
+                Campaign(f"fig7e-{qformat}-ber{ber}", repetitions, seed=seed + 4),
+                trial,
+                runner=runner,
+                checkpoint_dir=checkpoint_dir,
+                resume=resume,
+            )
             table.add(
                 qformat=str(qformat),
                 bit_error_rate=ber,
@@ -288,9 +322,13 @@ def run_drone_training_faults(
     injection_episodes: Optional[Sequence[int]] = None,
     seed: int = 0,
     repetitions: Optional[int] = None,
+    workers: Optional[int] = None,
+    checkpoint_dir=None,
+    resume: bool = False,
 ) -> ResultTable:
     """Fig. 7a — MSF after online fine-tuning with transient / stuck-at faults."""
     repetitions = repetitions or config.repetitions
+    runner = make_runner(workers)
     bundle = build_drone_bundle(config, seed=seed)
     if injection_episodes is None:
         injection_episodes = [0, max(0, config.finetune_episodes - 1)]
@@ -312,9 +350,13 @@ def run_drone_training_faults(
                 msf = _finetune_and_measure(bundle, rng, hooks)
                 return TrialOutcome(metric=msf)
 
-            result = Campaign(
-                f"fig7a-transient-ber{ber}-ep{episode}", repetitions, seed=seed + 5
-            ).run(trial)
+            result = run_campaign(
+                Campaign(f"fig7a-transient-ber{ber}-ep{episode}", repetitions, seed=seed + 5),
+                trial,
+                runner=runner,
+                checkpoint_dir=checkpoint_dir,
+                resume=resume,
+            )
             table.add(
                 fault_type="transient",
                 bit_error_rate=ber,
@@ -339,9 +381,13 @@ def run_drone_training_faults(
                 msf = _finetune_and_measure(bundle, rng, hooks)
                 return TrialOutcome(metric=msf)
 
-            result = Campaign(
-                f"fig7a-sa{stuck_value}-ber{ber}", repetitions, seed=seed + 6
-            ).run(trial)
+            result = run_campaign(
+                Campaign(f"fig7a-sa{stuck_value}-ber{ber}", repetitions, seed=seed + 6),
+                trial,
+                runner=runner,
+                checkpoint_dir=checkpoint_dir,
+                resume=resume,
+            )
             table.add(
                 fault_type=f"stuck-at-{stuck_value}",
                 bit_error_rate=ber,

@@ -17,9 +17,11 @@ import numpy as np
 from repro.core.campaign import Campaign, TrialOutcome
 from repro.core.injector import PermanentTrainingFaultHook, TransientTrainingFaultHook
 from repro.core.mitigation.exploration import AdaptiveExplorationController
+from repro.core.runner import make_runner
 from repro.experiments.common import (
     evaluate_grid_policy,
     greedy_policy,
+    run_campaign,
     train_grid_nn,
     train_tabular,
 )
@@ -66,10 +68,14 @@ def run_mitigated_transient_heatmap(
     mitigation: bool = True,
     seed: int = 0,
     repetitions: Optional[int] = None,
+    workers: Optional[int] = None,
+    checkpoint_dir=None,
+    resume: bool = False,
 ) -> ResultTable:
     """Fig. 8 transient heatmap, with or without the mitigation controller."""
     approach = "nn" if isinstance(config, GridNNConfig) else "tabular"
     repetitions = repetitions or config.repetitions
+    runner = make_runner(workers)
     label = "mitigated" if mitigation else "unmitigated"
     table = ResultTable(title=f"Fig8 transient training with mitigation ({approach}, {label})")
     for ber in bit_error_rates:
@@ -85,9 +91,15 @@ def run_mitigated_transient_heatmap(
                 rate = _train_and_evaluate(config, rng, hooks)
                 return TrialOutcome(metric=rate)
 
-            result = Campaign(
-                f"fig8-{approach}-{label}-ber{ber}-ep{episode}", repetitions, seed=seed
-            ).run(trial)
+            result = run_campaign(
+                Campaign(
+                    f"fig8-{approach}-{label}-ber{ber}-ep{episode}", repetitions, seed=seed
+                ),
+                trial,
+                runner=runner,
+                checkpoint_dir=checkpoint_dir,
+                resume=resume,
+            )
             table.add(
                 approach=approach,
                 mitigation=mitigation,
@@ -106,10 +118,14 @@ def run_mitigated_permanent_sweep(
     mitigation: bool = True,
     seed: int = 0,
     repetitions: Optional[int] = None,
+    workers: Optional[int] = None,
+    checkpoint_dir=None,
+    resume: bool = False,
 ) -> ResultTable:
     """Fig. 8 stuck-at columns, with or without the mitigation controller."""
     approach = "nn" if isinstance(config, GridNNConfig) else "tabular"
     repetitions = repetitions or config.repetitions
+    runner = make_runner(workers)
     label = "mitigated" if mitigation else "unmitigated"
     table = ResultTable(title=f"Fig8 permanent training with mitigation ({approach}, {label})")
     for stuck_value in (0, 1):
@@ -125,9 +141,15 @@ def run_mitigated_permanent_sweep(
                 rate = _train_and_evaluate(config, rng, hooks)
                 return TrialOutcome(metric=rate)
 
-            result = Campaign(
-                f"fig8-{approach}-{label}-sa{stuck_value}-ber{ber}", repetitions, seed=seed
-            ).run(trial)
+            result = run_campaign(
+                Campaign(
+                    f"fig8-{approach}-{label}-sa{stuck_value}-ber{ber}", repetitions, seed=seed
+                ),
+                trial,
+                runner=runner,
+                checkpoint_dir=checkpoint_dir,
+                resume=resume,
+            )
             table.add(
                 approach=approach,
                 mitigation=mitigation,

@@ -18,7 +18,8 @@ import numpy as np
 
 from repro.core.campaign import Campaign, TrialOutcome
 from repro.core.injector import PermanentTrainingFaultHook, TransientTrainingFaultHook
-from repro.experiments.common import train_grid_nn, train_tabular
+from repro.core.runner import make_runner
+from repro.experiments.common import run_campaign, train_grid_nn, train_tabular
 from repro.experiments.config import GridNNConfig, GridTabularConfig
 from repro.experiments.fig8_mitigation_training import make_controller
 from repro.io.results import ResultTable
@@ -40,10 +41,14 @@ def run_exploration_adjustment_sweep(
     fault_types: Sequence[str] = ("transient", "stuck-at-0", "stuck-at-1"),
     seed: int = 0,
     repetitions: Optional[int] = None,
+    workers: Optional[int] = None,
+    checkpoint_dir=None,
+    resume: bool = False,
 ) -> ResultTable:
     """Fig. 9a/9b — adjusted exploration ratio and episodes to steady exploitation."""
     approach = "nn" if isinstance(config, GridNNConfig) else "tabular"
     repetitions = repetitions or config.repetitions
+    runner = make_runner(workers)
     inject_episode = config.episodes // 2
     table = ResultTable(title=f"Fig9 exploration adjustment ({approach})")
 
@@ -82,9 +87,13 @@ def run_exploration_adjustment_sweep(
                     },
                 )
 
-            result = Campaign(
-                f"fig9-{approach}-{fault_type}-ber{ber}", repetitions, seed=seed
-            ).run(trial)
+            result = run_campaign(
+                Campaign(f"fig9-{approach}-{fault_type}-ber{ber}", repetitions, seed=seed),
+                trial,
+                runner=runner,
+                checkpoint_dir=checkpoint_dir,
+                resume=resume,
+            )
             table.add(
                 approach=approach,
                 fault_type=fault_type,
@@ -113,6 +122,9 @@ def run_recovery_speed_correlation(
     repetitions: Optional[int] = None,
     recovery_threshold: float = 0.8,
     recovery_window: int = 25,
+    workers: Optional[int] = None,
+    checkpoint_dir=None,
+    resume: bool = False,
 ) -> ResultTable:
     """Fig. 9c — recovery time as a function of the (forced) exploration boost.
 
@@ -122,6 +134,7 @@ def run_recovery_speed_correlation(
     """
     approach = "nn" if isinstance(config, GridNNConfig) else "tabular"
     repetitions = repetitions or config.repetitions
+    runner = make_runner(workers)
     inject_episode = config.episodes // 2
     table = ResultTable(title=f"Fig9c recovery speed vs exploration ratio ({approach})")
 
@@ -140,9 +153,13 @@ def run_recovery_speed_correlation(
                 metric=float(recovery if recovered else len(successes)),
             )
 
-        result = Campaign(
-            f"fig9c-{approach}-boost{boost}", repetitions, seed=seed + 7
-        ).run(trial)
+        result = run_campaign(
+            Campaign(f"fig9c-{approach}-boost{boost}", repetitions, seed=seed + 7),
+            trial,
+            runner=runner,
+            checkpoint_dir=checkpoint_dir,
+            resume=resume,
+        )
         table.add(
             approach=approach,
             exploration_ratio=boost,

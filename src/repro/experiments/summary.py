@@ -59,13 +59,30 @@ def run_headline_summary(
     grid_bers: Sequence[float] = (0.0, 0.005, 0.01),
     drone_bers: Sequence[float] = (0.0, 1e-3, 1e-2),
     seed: int = 0,
+    workers: Optional[int] = None,
+    checkpoint_dir=None,
+    resume: bool = False,
 ) -> ResultTable:
     """End-to-end headline summary (Sec. 5.2): 2x, +39%, <3% overhead."""
     grid_config = grid_config or GridNNConfig()
     drone_config = drone_config or DroneConfig()
 
-    grid_table = run_gridworld_anomaly_mitigation(grid_config, grid_bers, seed=seed)
-    drone_table = run_drone_anomaly_mitigation(drone_config, drone_bers, seed=seed)
+    grid_table = run_gridworld_anomaly_mitigation(
+        grid_config,
+        grid_bers,
+        seed=seed,
+        workers=workers,
+        checkpoint_dir=checkpoint_dir,
+        resume=resume,
+    )
+    drone_table = run_drone_anomaly_mitigation(
+        drone_config,
+        drone_bers,
+        seed=seed,
+        workers=workers,
+        checkpoint_dir=checkpoint_dir,
+        resume=resume,
+    )
     grid_gains = summarize_mitigation_gains(grid_table, "success_rate")
     drone_gains = summarize_mitigation_gains(drone_table, "mean_safe_flight")
 

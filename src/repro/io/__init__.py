@@ -1,6 +1,13 @@
 """Result containers and renderers used by examples and benchmarks."""
 
-from repro.io.results import ResultRow, ResultTable, SeriesResult
+from repro.io.results import CampaignCheckpoint, ResultRow, ResultTable, SeriesResult
 from repro.io.tables import render_table, render_heatmap
 
-__all__ = ["ResultRow", "ResultTable", "SeriesResult", "render_table", "render_heatmap"]
+__all__ = [
+    "CampaignCheckpoint",
+    "ResultRow",
+    "ResultTable",
+    "SeriesResult",
+    "render_table",
+    "render_heatmap",
+]

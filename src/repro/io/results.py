@@ -4,6 +4,11 @@ Experiments report their outputs as rows (one dict per configuration) or as
 named series (x values plus one or more y series).  Both can be rendered to
 ASCII tables, serialized to JSON, or written as CSV, so benchmark runs leave
 a machine-readable record next to the printed summary.
+
+:class:`CampaignCheckpoint` persists fault-injection campaign trials as an
+append-only JSONL file (one header line identifying the campaign, then one
+line per completed :class:`~repro.core.campaign.TrialOutcome`), which is what
+lets interrupted 1000-repetition campaigns resume where they left off.
 """
 
 from __future__ import annotations
@@ -12,9 +17,14 @@ import csv
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence
 
-__all__ = ["ResultRow", "ResultTable", "SeriesResult"]
+from repro.core.campaign import TrialOutcome
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.campaign import Campaign
+
+__all__ = ["ResultRow", "ResultTable", "SeriesResult", "CampaignCheckpoint"]
 
 #: A single experiment result row: column name -> value.
 ResultRow = Dict[str, Any]
@@ -121,3 +131,101 @@ class SeriesResult:
         if path is not None:
             Path(path).write_text(payload)
         return payload
+
+
+# --------------------------------------------------------------------------- #
+# Campaign checkpoints
+# --------------------------------------------------------------------------- #
+class CampaignCheckpoint:
+    """JSONL checkpoint of a campaign's completed trials.
+
+    The file starts with a header line identifying the campaign (name, seed,
+    repetitions) and then holds one ``{"index": ..., "outcome": {...}}`` line
+    per completed trial, appended as trials finish.  Because every line
+    carries its trial index, lines may arrive in any completion order (the
+    parallel engine finishes trials out of order) and duplicates are
+    harmless — the last line for an index wins.
+
+    The header guards against resuming a *different campaign* (name, seed or
+    repetition count mismatch); it cannot detect a changed trial function or
+    experiment configuration (scale preset, config fields), so resume a
+    checkpoint only under the configuration that produced it.
+
+    A truncated final line (the process died mid-write) is ignored on load,
+    so a checkpoint is always resumable after a hard kill.
+    """
+
+    _HEADER_KIND = "repro-campaign-checkpoint"
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+
+    def exists(self) -> bool:
+        return self.path.exists()
+
+    def _header(self, campaign: "Campaign") -> Dict[str, Any]:
+        return {
+            "kind": self._HEADER_KIND,
+            "name": campaign.name,
+            "seed": campaign.seed,
+            "repetitions": campaign.repetitions,
+        }
+
+    def reset(self, campaign: "Campaign") -> None:
+        """Truncate the file and write a fresh header for ``campaign``."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "w") as handle:
+            handle.write(json.dumps(self._header(campaign)) + "\n")
+
+    def append(self, index: int, outcome: TrialOutcome) -> None:
+        """Record one completed trial (flushed immediately for crash safety)."""
+        # default=float keeps numpy scalar metrics/extras serializable, same
+        # as ResultTable.to_json.
+        line = json.dumps(
+            {"index": int(index), "outcome": outcome.to_json_dict()}, default=float
+        )
+        with open(self.path, "a") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+
+    def load(self, campaign: "Campaign") -> Dict[int, TrialOutcome]:
+        """Completed outcomes by trial index; creates the file if missing.
+
+        Raises ``ValueError`` if the file exists but belongs to a different
+        campaign (name, seed or repetition count mismatch) — resuming such a
+        checkpoint would silently mix incompatible trials.
+        """
+        if not self.path.exists():
+            self.reset(campaign)
+            return {}
+        with open(self.path) as handle:
+            lines = handle.read().splitlines()
+        if not lines:
+            self.reset(campaign)
+            return {}
+        header = self._parse_line(lines[0])
+        expected = self._header(campaign)
+        if header != expected:
+            raise ValueError(
+                f"checkpoint {self.path} belongs to a different campaign: "
+                f"found {header}, expected {expected}"
+            )
+        outcomes: Dict[int, TrialOutcome] = {}
+        for line in lines[1:]:
+            record = self._parse_line(line)
+            if record is None:
+                continue  # truncated trailing write
+            index = int(record["index"])
+            if 0 <= index < campaign.repetitions:
+                outcomes[index] = TrialOutcome.from_json_dict(record["outcome"])
+        return outcomes
+
+    @staticmethod
+    def _parse_line(line: str) -> Optional[Dict[str, Any]]:
+        line = line.strip()
+        if not line:
+            return None
+        try:
+            return json.loads(line)
+        except json.JSONDecodeError:
+            return None

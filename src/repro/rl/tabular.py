@@ -157,8 +157,17 @@ class TabularQAgent(Agent):
         """Greedy action for every state (Eq. 5)."""
         return self.q_table.argmax(axis=1)
 
-    def clone(self) -> "TabularQAgent":
-        """Deep copy of the agent (table and schedule state preserved)."""
+    def clone(self, rng: Optional[np.random.Generator] = None) -> "TabularQAgent":
+        """Deep copy of the agent (table and schedule state preserved).
+
+        Without ``rng`` the copy's generator is seeded by drawing from this
+        agent's generator, which *advances the parent's RNG state*.  Callers
+        that need cloning to be side-effect free (e.g. campaign trials that
+        clone a shared agent and must stay pure functions of their trial
+        RNG) should pass an explicit generator.
+        """
+        if rng is None:
+            rng = np.random.default_rng(self.rng.integers(2**32))
         copy = TabularQAgent(
             self.n_states,
             self.n_actions,
@@ -168,7 +177,7 @@ class TabularQAgent(Agent):
             qformat=self.qformat,
             value_scale=self.value_scale,
             initial_q=self.initial_q,
-            rng=np.random.default_rng(self.rng.integers(2**32)),
+            rng=rng,
         )
         copy._table = self._table.copy()
         return copy

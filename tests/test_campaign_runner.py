@@ -1,0 +1,298 @@
+"""Tests for the campaign execution engines and checkpoint/resume."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Campaign,
+    CampaignResult,
+    ParallelRunner,
+    SerialRunner,
+    TrialExecutionError,
+    TrialOutcome,
+    make_runner,
+)
+from repro.core.runner import default_workers, parse_worker_count
+from repro.experiments.common import campaign_checkpoint_path, run_campaign
+from repro.io.results import CampaignCheckpoint
+
+
+def stochastic_trial(rng: np.random.Generator) -> TrialOutcome:
+    """A trial whose entire outcome is derived from its per-trial RNG."""
+    return TrialOutcome(
+        success=bool(rng.random() < 0.5),
+        metric=float(rng.normal()),
+        extras={"steps": float(rng.integers(1, 100))},
+    )
+
+
+def outcome_tuples(result: CampaignResult):
+    return [(o.success, o.metric, tuple(sorted(o.extras.items()))) for o in result.outcomes]
+
+
+class TestParallelDeterminism:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_parallel_matches_serial_bit_identically(self, workers):
+        campaign = Campaign("parity", repetitions=24, seed=1234)
+        serial = campaign.run(stochastic_trial, runner=SerialRunner())
+        parallel = campaign.run(
+            stochastic_trial, runner=ParallelRunner(workers=workers)
+        )
+        assert outcome_tuples(parallel) == outcome_tuples(serial)
+        assert parallel.summary() == serial.summary()
+
+    def test_chunk_size_does_not_affect_results(self):
+        campaign = Campaign("chunks", repetitions=10, seed=7)
+        serial = campaign.run(stochastic_trial, runner=SerialRunner())
+        for chunk in (1, 3, 10):
+            parallel = campaign.run(
+                stochastic_trial, runner=ParallelRunner(workers=2, chunk_size=chunk)
+            )
+            assert outcome_tuples(parallel) == outcome_tuples(serial)
+
+    def test_closure_trials_work_in_workers(self):
+        offset = 10.0
+        campaign = Campaign("closure", repetitions=6, seed=2)
+        result = campaign.run(
+            lambda rng: TrialOutcome(metric=offset + float(rng.random())),
+            runner=ParallelRunner(workers=2),
+        )
+        assert result.repetitions == 6
+        assert all(o.metric >= offset for o in result.outcomes)
+
+
+class TestCrashSurfacing:
+    def test_worker_crash_raises_trial_execution_error(self):
+        def exploding(rng):
+            raise ValueError("simulated trial failure")
+
+        campaign = Campaign("crash", repetitions=4, seed=0)
+        with pytest.raises(TrialExecutionError) as excinfo:
+            campaign.run(exploding, runner=ParallelRunner(workers=2))
+        assert "simulated trial failure" in str(excinfo.value)
+        assert 0 <= excinfo.value.trial_index < 4
+        assert "ValueError" in excinfo.value.worker_traceback
+
+    def test_bad_return_type_surfaces_from_workers(self):
+        campaign = Campaign("badtype", repetitions=2, seed=0)
+        with pytest.raises(TrialExecutionError, match="TrialOutcome"):
+            campaign.run(lambda rng: 42, runner=ParallelRunner(workers=2))
+
+    def test_serial_exceptions_propagate_unwrapped(self):
+        def exploding(rng):
+            raise ValueError("serial failure")
+
+        with pytest.raises(ValueError, match="serial failure"):
+            Campaign("crash", 3).run(exploding, runner=SerialRunner())
+
+
+class TestCheckpointResume:
+    def test_resume_after_interrupt_matches_uninterrupted(self, tmp_path):
+        path = tmp_path / "campaign.jsonl"
+        campaign = Campaign("resume", repetitions=10, seed=42)
+
+        calls = {"n": 0}
+
+        def dies_after_four(rng):
+            if calls["n"] >= 4:
+                raise RuntimeError("simulated kill")
+            calls["n"] += 1
+            return stochastic_trial(rng)
+
+        with pytest.raises(RuntimeError):
+            campaign.run(dies_after_four, checkpoint=path)
+
+        # The four completed trials survived the crash on disk.
+        partial = CampaignCheckpoint(path).load(campaign)
+        assert sorted(partial) == [0, 1, 2, 3]
+
+        resumed = campaign.run(stochastic_trial, checkpoint=path, resume=True)
+        uninterrupted = Campaign("resume", repetitions=10, seed=42).run(stochastic_trial)
+        assert outcome_tuples(resumed) == outcome_tuples(uninterrupted)
+        assert resumed.summary() == uninterrupted.summary()
+
+    def test_resume_with_parallel_runner(self, tmp_path):
+        path = tmp_path / "campaign.jsonl"
+        campaign = Campaign("resume-par", repetitions=12, seed=5)
+        first = campaign.run(stochastic_trial, checkpoint=path)
+
+        # Drop half the lines to simulate an interrupted parallel run.
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:7]) + "\n")
+
+        resumed = campaign.run(
+            stochastic_trial,
+            runner=ParallelRunner(workers=2),
+            checkpoint=path,
+            resume=True,
+        )
+        assert outcome_tuples(resumed) == outcome_tuples(first)
+
+    def test_fully_checkpointed_campaign_runs_no_trials(self, tmp_path):
+        path = tmp_path / "done.jsonl"
+        campaign = Campaign("done", repetitions=5, seed=3)
+        first = campaign.run(stochastic_trial, checkpoint=path)
+
+        def must_not_run(rng):
+            raise AssertionError("no trial should execute on a complete checkpoint")
+
+        resumed = campaign.run(must_not_run, checkpoint=path, resume=True)
+        assert outcome_tuples(resumed) == outcome_tuples(first)
+
+    def test_without_resume_checkpoint_is_overwritten(self, tmp_path):
+        path = tmp_path / "fresh.jsonl"
+        campaign = Campaign("fresh", repetitions=3, seed=9)
+        campaign.run(stochastic_trial, checkpoint=path)
+        campaign.run(stochastic_trial, checkpoint=path)  # resume=False
+        # Header + exactly one line per trial (no accumulation across runs).
+        assert len(path.read_text().splitlines()) == 4
+
+    def test_mismatched_checkpoint_rejected(self, tmp_path):
+        path = tmp_path / "ck.jsonl"
+        Campaign("original", repetitions=4, seed=1).run(stochastic_trial, checkpoint=path)
+        for other in (
+            Campaign("different-name", 4, seed=1),
+            Campaign("original", 5, seed=1),
+            Campaign("original", 4, seed=2),
+        ):
+            with pytest.raises(ValueError, match="different campaign"):
+                other.run(stochastic_trial, checkpoint=path, resume=True)
+
+    def test_truncated_trailing_line_is_ignored(self, tmp_path):
+        path = tmp_path / "torn.jsonl"
+        campaign = Campaign("torn", repetitions=6, seed=8)
+        campaign.run(stochastic_trial, checkpoint=path)
+        path.write_text(path.read_text()[:-20])  # tear the final write
+        resumed = campaign.run(stochastic_trial, checkpoint=path, resume=True)
+        reference = Campaign("torn", repetitions=6, seed=8).run(stochastic_trial)
+        assert outcome_tuples(resumed) == outcome_tuples(reference)
+
+    def test_resume_without_checkpoint_rejected(self):
+        with pytest.raises(ValueError, match="requires a checkpoint"):
+            Campaign("nock", 2).run(stochastic_trial, resume=True)
+
+    def test_outcome_json_round_trip(self):
+        outcome = TrialOutcome(success=False, metric=1.5, extras={"steps": 3.0})
+        assert TrialOutcome.from_json_dict(outcome.to_json_dict()) == outcome
+        empty = TrialOutcome()
+        assert TrialOutcome.from_json_dict(empty.to_json_dict()) == empty
+
+
+class TestProgressReporting:
+    def test_progress_counts_every_trial(self):
+        seen = []
+        Campaign("prog", repetitions=5, seed=0).run(
+            stochastic_trial, progress=lambda done, total: seen.append((done, total))
+        )
+        assert seen == [(i, 5) for i in range(1, 6)]
+
+    def test_progress_includes_checkpointed_trials(self, tmp_path):
+        path = tmp_path / "ck.jsonl"
+        campaign = Campaign("prog2", repetitions=6, seed=1)
+        campaign.run(stochastic_trial, checkpoint=path)
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:3]) + "\n")  # keep 2 of 6 outcomes
+
+        seen = []
+        campaign.run(
+            stochastic_trial,
+            checkpoint=path,
+            resume=True,
+            progress=lambda done, total: seen.append((done, total)),
+        )
+        assert seen[0] == (2, 6)
+        assert seen[-1] == (6, 6)
+
+
+class TestRunnerResolution:
+    def test_make_runner_defaults_to_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CAMPAIGN_WORKERS", raising=False)
+        assert isinstance(make_runner(), SerialRunner)
+        assert isinstance(make_runner(1), SerialRunner)
+        assert isinstance(make_runner(3), ParallelRunner)
+
+    def test_workers_env_var(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CAMPAIGN_WORKERS", "4")
+        assert default_workers() == 4
+        runner = make_runner()
+        assert isinstance(runner, ParallelRunner) and runner.workers == 4
+        monkeypatch.setenv("REPRO_CAMPAIGN_WORKERS", "auto")
+        assert default_workers() >= 1
+        monkeypatch.setenv("REPRO_CAMPAIGN_WORKERS", "bogus")
+        with pytest.raises(ValueError):
+            default_workers()
+        monkeypatch.setenv("REPRO_CAMPAIGN_WORKERS", "0")
+        with pytest.raises(ValueError):
+            default_workers()
+
+    def test_parse_worker_count(self):
+        assert parse_worker_count(3) == 3
+        assert parse_worker_count("5") == 5
+        assert parse_worker_count("auto") >= 1
+        for bad in ("x", "0", 0, -2):
+            with pytest.raises(ValueError):
+                parse_worker_count(bad)
+
+    def test_invalid_worker_counts_rejected(self):
+        with pytest.raises(ValueError):
+            make_runner(0)
+        with pytest.raises(ValueError):
+            ParallelRunner(workers=-1)
+        with pytest.raises(ValueError):
+            ParallelRunner(chunk_size=0)
+
+    def test_env_var_drives_campaign_run(self, monkeypatch):
+        campaign = Campaign("envpar", repetitions=8, seed=6)
+        monkeypatch.delenv("REPRO_CAMPAIGN_WORKERS", raising=False)
+        serial = campaign.run(stochastic_trial)
+        monkeypatch.setenv("REPRO_CAMPAIGN_WORKERS", "2")
+        parallel = campaign.run(stochastic_trial)
+        assert outcome_tuples(parallel) == outcome_tuples(serial)
+
+
+class TestRunCampaignHelper:
+    def test_checkpoint_dir_and_resume(self, tmp_path):
+        campaign = Campaign("fig0-demo-ber0.5", repetitions=4, seed=0)
+        first = run_campaign(campaign, stochastic_trial, checkpoint_dir=tmp_path)
+        assert campaign_checkpoint_path(campaign.name, tmp_path).exists()
+        resumed = run_campaign(
+            campaign, stochastic_trial, checkpoint_dir=tmp_path, resume=True, workers=2
+        )
+        assert outcome_tuples(resumed) == outcome_tuples(first)
+
+    def test_checkpoint_name_sanitized(self, tmp_path):
+        path = campaign_checkpoint_path("fig7e-Q(1,4,11)-ber0.01", tmp_path)
+        assert path.name == "fig7e-Q_1_4_11_-ber0.01.jsonl"
+
+
+class TestGradedOutcomeConsistency:
+    """Regression: num_successes must grade the same subset as success_rate."""
+
+    def test_mixed_none_true_false(self):
+        result = CampaignResult(
+            name="mixed",
+            outcomes=[
+                TrialOutcome(success=None, metric=1.0),
+                TrialOutcome(success=True),
+                TrialOutcome(success=False),
+                TrialOutcome(success=True),
+                TrialOutcome(success=None, metric=0.5),
+            ],
+        )
+        assert result.repetitions == 5
+        assert result.num_graded == 3
+        assert result.num_successes == 2
+        assert result.success_rate == pytest.approx(2 / 3)
+        assert result.num_successes == result.success_rate * result.num_graded
+        low, high = result.success_confidence()
+        assert 0.0 <= low <= result.success_rate <= high <= 1.0
+
+    def test_all_ungraded_raises(self):
+        result = CampaignResult(
+            name="ungraded", outcomes=[TrialOutcome(metric=1.0)] * 3
+        )
+        assert result.num_successes == 0
+        assert result.num_graded == 0
+        with pytest.raises(ValueError):
+            _ = result.success_rate
+        assert "success_rate" not in result.summary()

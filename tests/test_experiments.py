@@ -137,6 +137,24 @@ class TestGridWorldDrivers:
         with pytest.raises(ValueError):
             fig5_inference.run_inference_fault_sweep(fast_tabular, [0.01], fault_modes=("bogus",))
 
+    def test_fig5_parallel_matches_serial(self, fast_tabular):
+        # The fig5 trials clone a *shared* trained agent, which historically
+        # consumed the agent's RNG and made outcomes depend on execution
+        # order; trials must be pure functions of their trial RNG so worker
+        # count (and checkpoint resume) cannot change the reported rates.
+        kwargs = dict(
+            fault_modes=("transient-1", "stuck-at-1"),
+            repetitions=2,
+            episodes_per_trial=2,
+        )
+        serial = fig5_inference.run_inference_fault_sweep(
+            fast_tabular, [0.01], workers=1, **kwargs
+        )
+        parallel = fig5_inference.run_inference_fault_sweep(
+            fast_tabular, [0.01], workers=2, **kwargs
+        )
+        assert serial.rows == parallel.rows
+
     def test_fig8_mitigated_heatmap(self, fast_tabular):
         table = fig8_mitigation_training.run_mitigated_transient_heatmap(
             fast_tabular, [0.01], [50], mitigation=True, repetitions=1

@@ -219,6 +219,100 @@ class TestInferenceInjectors:
         assert injector.injection_count == 1
 
 
+class TestFaultRoundTrips:
+    """Property-style invariants of the fault models and patterns."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 7, 42])
+    @pytest.mark.parametrize("ber", [0.01, 0.1, 0.5])
+    def test_transient_applied_twice_restores_bits(self, seed, ber):
+        # Bit-flips are XOR involutions: re-applying the same pattern must
+        # restore the original tensor bit-for-bit.
+        rng = np.random.default_rng(seed)
+        tensor = QTensor(rng.normal(0, 0.5, size=(6, 7)), Q16_NARROW, name="w")
+        original = tensor.raw.copy()
+        pattern = TransientBitFlip(ber).sample_pattern(tensor, rng)
+        pattern.apply(tensor)
+        if pattern.num_faults:
+            assert not np.array_equal(tensor.raw, original)
+        pattern.apply(tensor)
+        assert np.array_equal(tensor.raw, original)
+
+    @pytest.mark.parametrize("seed", [0, 3, 11])
+    @pytest.mark.parametrize(
+        "model",
+        [TransientBitFlip(0.2), StuckAtFault(0.2, stuck_value=0), StuckAtFault(0.2, stuck_value=1)],
+        ids=["transient", "sa0", "sa1"],
+    )
+    def test_sample_then_apply_equals_direct_inject(self, seed, model):
+        # For the same RNG state, sampling a pattern and applying it must be
+        # indistinguishable from model.inject (same sites, same bits).
+        values = np.random.default_rng(99).uniform(-4, 4, size=(5, 8))
+        t_sampled = QTensor(values, Q8_GRID, name="buf")
+        t_injected = QTensor(values, Q8_GRID, name="buf")
+
+        pattern = model.sample_pattern(t_sampled, np.random.default_rng(seed))
+        assert np.array_equal(t_sampled.raw, t_injected.raw)  # sampling is pure
+        pattern.apply(t_sampled)
+        injected_pattern = model.inject(t_injected, np.random.default_rng(seed))
+
+        assert np.array_equal(t_sampled.raw, t_injected.raw)
+        assert np.array_equal(pattern.element_indices, injected_pattern.element_indices)
+        assert np.array_equal(pattern.bit_positions, injected_pattern.bit_positions)
+        assert pattern.stuck_value == injected_pattern.stuck_value
+
+    def test_injector_sample_reapply_equals_inject(self):
+        # The same invariant through the agent-level FaultInjector API.
+        model = StuckAtFault(0.2, stuck_value=1)
+
+        def make_agent():
+            return TabularQAgent(12, 4, rng=np.random.default_rng(0))
+
+        sampled_agent, injected_agent = make_agent(), make_agent()
+        injector_a = FaultInjector(np.random.default_rng(21))
+        patterns = injector_a.sample(sampled_agent, model)
+        injector_a.reapply(sampled_agent, patterns)
+        injector_b = FaultInjector(np.random.default_rng(21))
+        injector_b.inject(injected_agent, model)
+        assert np.array_equal(
+            sampled_agent.memory_buffers()["qtable"].raw,
+            injected_agent.memory_buffers()["qtable"].raw,
+        )
+
+
+class TestActivationPatternResampling:
+    def make_executor(self, rng):
+        net = build_grid_q_network(10, 4, hidden_sizes=(8,), rng=rng)
+        return QuantizedExecutor(net, Q16_NARROW)
+
+    def test_shrunken_buffer_resample_is_counted_and_logged(self, rng, caplog):
+        # Activation buffers track the batch size; a permanent pattern sampled
+        # on a large batch stops fitting when a smaller batch shrinks the
+        # buffer and must be (visibly) resampled.
+        executor = self.make_executor(rng)
+        injector = ActivationFaultInjector(
+            StuckAtFault(0.3, stuck_value=1), mode="permanent", rng=rng
+        )
+        executor.activation_hooks.append(injector)
+        with caplog.at_level("WARNING", logger="repro.core.injector"):
+            executor.forward(np.eye(10)[:8])  # batch 8: sample the patterns
+            assert injector.resample_count == 0
+            executor.forward(np.eye(10)[:1])  # batch 1: buffers shrink
+        assert injector.resample_count > 0
+        assert any("resampling fault sites" in r.message for r in caplog.records)
+
+    def test_stable_buffer_size_never_resamples(self, rng):
+        executor = self.make_executor(rng)
+        injector = ActivationFaultInjector(
+            StuckAtFault(0.3, stuck_value=1), mode="permanent", rng=rng
+        )
+        executor.activation_hooks.append(injector)
+        executor.forward(np.eye(10)[:4])
+        first_patterns = dict(injector._patterns)
+        executor.forward(np.eye(10)[:4])
+        assert injector.resample_count == 0
+        assert all(injector._patterns[k] is v for k, v in first_patterns.items())
+
+
 class TestCampaign:
     def test_campaign_aggregates_success(self):
         campaign = Campaign("test", repetitions=20, seed=3)

@@ -160,6 +160,18 @@ class TestTabularAgent:
         actions = {agent.select_action(0) for _ in range(50)}
         assert len(actions) > 1
 
+    def test_clone_with_explicit_rng_leaves_parent_rng_untouched(self, rng):
+        # Campaign trials clone shared agents; with an explicit rng the clone
+        # must not advance the parent's generator (execution-order purity).
+        agent = TabularQAgent(4, 2, rng=np.random.default_rng(3))
+        state_before = agent.rng.bit_generator.state
+        copy = agent.clone(rng=np.random.default_rng(0))
+        assert agent.rng.bit_generator.state == state_before
+        assert np.array_equal(copy.q_table, agent.q_table)
+        # Default behaviour (no rng) still draws from the parent.
+        agent.clone()
+        assert agent.rng.bit_generator.state != state_before
+
     def test_memory_buffer_is_live(self, rng):
         agent = TabularQAgent(2, 2, rng=rng)
         table = agent.memory_buffers()["qtable"]
