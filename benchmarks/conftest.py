@@ -5,10 +5,12 @@ resulting table, so a ``pytest benchmarks/ --benchmark-only`` run leaves a
 textual record of the reproduced trends.  Sweep densities and repetition
 counts are kept small so the whole harness runs in minutes on a laptop; set
 ``REPRO_SCALE=paper`` and ``REPRO_CAMPAIGN_REPS=1000`` to rerun at the
-paper's scale, and ``REPRO_CAMPAIGN_WORKERS=auto`` (or any worker count) to
-fan the campaign trials out over a process pool — campaign outcomes are
-bit-identical to serial runs for the same seed, so parallelism never
-changes the reported numbers.
+paper's scale, ``REPRO_CAMPAIGN_WORKERS=auto`` (or any worker count) to
+fan the campaign trials out over a process pool, and
+``REPRO_CAMPAIGN_BATCH=8`` (or any batch size) to evaluate inference
+campaigns through the batched vectorized engine — campaign outcomes are
+bit-identical to serial runs for the same seed, so neither parallelism nor
+batching ever changes the reported numbers.
 """
 
 from __future__ import annotations

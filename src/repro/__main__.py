@@ -8,11 +8,13 @@ summary) with the experiment-level knobs exposed as flags::
     python -m repro fig10 --checkpoint-dir runs/fig10 --resume
     python -m repro summary --out-dir results/
 
-``--workers`` selects the parallel campaign engine (bit-identical to serial
-runs for the same seed); ``--checkpoint-dir`` streams every campaign's trial
-outcomes to JSONL files so an interrupted sweep can be restarted with
-``--resume``.  ``REPRO_SCALE``, ``REPRO_CAMPAIGN_REPS`` and
-``REPRO_CAMPAIGN_WORKERS`` keep working as environment-level defaults.
+``--workers`` selects the parallel campaign engine and ``--batch-size`` the
+batched-vectorized engine (both bit-identical to serial runs for the same
+seed, and freely combinable); ``--checkpoint-dir`` streams every campaign's
+trial outcomes to JSONL files so an interrupted sweep can be restarted with
+``--resume``.  ``REPRO_SCALE``, ``REPRO_CAMPAIGN_REPS``,
+``REPRO_CAMPAIGN_WORKERS`` and ``REPRO_CAMPAIGN_BATCH`` keep working as
+environment-level defaults.
 """
 
 from __future__ import annotations
@@ -49,14 +51,20 @@ def _drone_config(args) -> DroneConfig:
     return DroneConfig.fast() if args.fast else DroneConfig()
 
 
-def _campaign_kwargs(args) -> dict:
-    return {
+def _campaign_kwargs(args, batched: bool = False) -> dict:
+    kwargs = {
         "seed": args.seed,
         "repetitions": args.reps,
         "workers": args.workers,
         "checkpoint_dir": args.checkpoint_dir,
         "resume": args.resume,
     }
+    if batched:
+        # Only the inference-campaign drivers expose the batch-size knob as
+        # a keyword; every other driver still honours REPRO_CAMPAIGN_BATCH
+        # through make_runner (falling back to scalar trials per batch).
+        kwargs["batch_size"] = args.batch_size
+    return kwargs
 
 
 def _run_fig2(args) -> List[ResultTable]:
@@ -102,7 +110,7 @@ def _run_fig5(args) -> List[ResultTable]:
 
     return [
         run_inference_fault_sweep(
-            _grid_config(args), grid_ber_sweep(), **_campaign_kwargs(args)
+            _grid_config(args), grid_ber_sweep(), **_campaign_kwargs(args, batched=True)
         )
     ]
 
@@ -152,7 +160,7 @@ def _run_fig9(args) -> List[ResultTable]:
     )
 
     config = _grid_config(args)
-    kwargs = _campaign_kwargs(args)
+    kwargs = _campaign_kwargs(args, batched=True)
     return [
         run_exploration_adjustment_sweep(config, grid_ber_sweep(), **kwargs),
         run_recovery_speed_correlation(config, **kwargs),
@@ -165,7 +173,7 @@ def _run_fig10(args) -> List[ResultTable]:
         run_gridworld_anomaly_mitigation,
     )
 
-    kwargs = _campaign_kwargs(args)
+    kwargs = _campaign_kwargs(args, batched=True)
     return [
         run_gridworld_anomaly_mitigation(_nn_config(args), grid_ber_sweep(), **kwargs),
         run_drone_anomaly_mitigation(_drone_config(args), drone_ber_sweep(), **kwargs),
@@ -223,6 +231,14 @@ def build_parser() -> argparse.ArgumentParser:
         "REPRO_CAMPAIGN_WORKERS or serial)",
     )
     parser.add_argument(
+        "--batch-size",
+        type=int,
+        default=None,
+        metavar="B",
+        help="trials evaluated per vectorized batch for the inference "
+        "campaigns (default: REPRO_CAMPAIGN_BATCH or serial)",
+    )
+    parser.add_argument(
         "--checkpoint-dir",
         type=Path,
         default=None,
@@ -272,6 +288,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         args.workers = _parse_workers(args.workers)
     except ValueError:
         parser.error(f"--workers must be a positive integer or 'auto', got {args.workers!r}")
+    if args.batch_size is not None and args.batch_size <= 0:
+        parser.error(f"--batch-size must be positive, got {args.batch_size}")
     if args.resume and args.checkpoint_dir is None:
         parser.error("--resume requires --checkpoint-dir")
 

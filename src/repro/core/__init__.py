@@ -12,8 +12,11 @@ inference:
   memory buffers and accelerator buffers, plus training-loop hooks.
 * :mod:`repro.core.campaign` — repetition / statistics machinery for
   large-scale fault-injection campaigns.
-* :mod:`repro.core.runner` — serial and multiprocess campaign execution
-  engines with chunked scheduling and checkpoint streaming.
+* :mod:`repro.core.runner` — serial, multiprocess and batched-vectorized
+  campaign execution engines with chunked scheduling and checkpoint
+  streaming.
+* :mod:`repro.core.evaluator` — batched evaluation of B fault-injected
+  policy replicas through stacked quantized buffers.
 * :mod:`repro.core.mitigation` — the two mitigation techniques of Sec. 5.
 """
 
@@ -24,7 +27,7 @@ from repro.core.fault_models import (
     StuckAtFault,
     make_fault_model,
 )
-from repro.core.sites import FaultPattern, BufferSelector
+from repro.core.sites import FaultPattern, BufferSelector, apply_patterns_stacked
 from repro.core.injector import (
     FaultInjector,
     TransientTrainingFaultHook,
@@ -34,13 +37,17 @@ from repro.core.injector import (
 )
 from repro.core.campaign import Campaign, CampaignResult, TrialOutcome
 from repro.core.runner import (
+    BatchedRunner,
     CampaignRunner,
     ParallelRunner,
     SerialRunner,
     TrialExecutionError,
+    default_batch_size,
     default_workers,
     make_runner,
+    supports_batching,
 )
+from repro.core.evaluator import BatchedEvaluator
 
 __all__ = [
     "FaultType",
@@ -50,6 +57,7 @@ __all__ = [
     "make_fault_model",
     "FaultPattern",
     "BufferSelector",
+    "apply_patterns_stacked",
     "FaultInjector",
     "TransientTrainingFaultHook",
     "PermanentTrainingFaultHook",
@@ -61,7 +69,11 @@ __all__ = [
     "CampaignRunner",
     "SerialRunner",
     "ParallelRunner",
+    "BatchedRunner",
+    "BatchedEvaluator",
     "TrialExecutionError",
     "default_workers",
+    "default_batch_size",
+    "supports_batching",
     "make_runner",
 ]

@@ -10,11 +10,14 @@ benchmark harness can trade accuracy for runtime).
 
 Execution is delegated to a :class:`~repro.core.runner.CampaignRunner`:
 the default :class:`~repro.core.runner.SerialRunner` preserves the original
-in-process behaviour, while :class:`~repro.core.runner.ParallelRunner`
-(selected explicitly or through ``REPRO_CAMPAIGN_WORKERS``) fans trials out
-over a process pool.  Each trial's RNG is spawned from the campaign seed by
+in-process behaviour, :class:`~repro.core.runner.ParallelRunner` (selected
+explicitly or through ``REPRO_CAMPAIGN_WORKERS``) fans trials out over a
+process pool, and :class:`~repro.core.runner.BatchedRunner` (selected
+explicitly or through ``REPRO_CAMPAIGN_BATCH``) evaluates batches of trials
+through one vectorized pass when the trial function implements
+``run_batch``.  Each trial's RNG is spawned from the campaign seed by
 trial index (``SeedSequence.spawn``), so outcomes are bit-identical across
-engines and worker counts.  Passing a
+engines, worker counts and batch sizes.  Passing a
 :class:`~repro.io.results.CampaignCheckpoint` to :meth:`Campaign.run`
 streams outcomes to a JSONL file as they complete, and ``resume=True``
 restarts an interrupted campaign from the trials already on disk.

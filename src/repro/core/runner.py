@@ -1,7 +1,7 @@
-"""Campaign execution engines (serial and multiprocess).
+"""Campaign execution engines (serial, multiprocess, batched-vectorized).
 
 A :class:`CampaignRunner` executes the independently seeded trials of a
-:class:`~repro.core.campaign.Campaign`.  Two engines are provided:
+:class:`~repro.core.campaign.Campaign`.  Three engines are provided:
 
 * :class:`SerialRunner` — runs trials in-process, in index order (the
   original ``Campaign.run`` behaviour and the default).
@@ -9,6 +9,13 @@ A :class:`CampaignRunner` executes the independently seeded trials of a
   Every trial draws its RNG from its *own* ``SeedSequence`` child, spawned
   from the campaign seed by trial index, so the outcomes are bit-identical
   to a serial run regardless of worker count or completion order.
+* :class:`BatchedRunner` — groups trials into fixed-size batches and, when
+  the trial function exposes a vectorized ``run_batch(rngs)`` implementation
+  (see :func:`supports_batching`), evaluates the whole batch through one set
+  of stacked numpy operations.  Trial functions without ``run_batch`` fall
+  back to scalar execution inside each batch, so the engine is always safe
+  to select.  Batching composes with multiprocessing: ``workers > 1`` fans
+  the batches out over a pool, with each worker running vectorized batches.
 
 Trials are scheduled in chunks to amortize inter-process messaging, results
 are streamed back through an ``on_result`` callback (which is how campaign
@@ -17,8 +24,12 @@ worker surfaces in the parent as :class:`TrialExecutionError` carrying the
 trial index and the worker traceback.
 
 The default worker count is read from the ``REPRO_CAMPAIGN_WORKERS``
-environment variable (``"auto"`` means one worker per CPU), mirroring how
-``REPRO_CAMPAIGN_REPS`` controls repetition counts.
+environment variable (``"auto"`` means one worker per CPU) and the default
+batch size from ``REPRO_CAMPAIGN_BATCH``, mirroring how
+``REPRO_CAMPAIGN_REPS`` controls repetition counts.  All engines are
+bit-identical for the same campaign seed: per-trial ``SeedSequence``
+children make every trial a pure function of its own RNG, and the batched
+numpy paths reproduce the scalar paths' floating-point operations exactly.
 """
 
 from __future__ import annotations
@@ -36,14 +47,22 @@ __all__ = [
     "CampaignRunner",
     "SerialRunner",
     "ParallelRunner",
+    "BatchedRunner",
+    "supports_batching",
     "default_workers",
+    "default_batch_size",
     "parse_worker_count",
+    "parse_batch_size",
     "make_runner",
     "WORKERS_ENV_VAR",
+    "BATCH_ENV_VAR",
 ]
 
 #: Environment variable selecting the default campaign worker count.
 WORKERS_ENV_VAR = "REPRO_CAMPAIGN_WORKERS"
+
+#: Environment variable selecting the default campaign batch size.
+BATCH_ENV_VAR = "REPRO_CAMPAIGN_BATCH"
 
 #: A scheduled trial: (trial index, seed sequence for that trial).
 TrialTask = Tuple[int, np.random.SeedSequence]
@@ -76,15 +95,63 @@ def default_workers() -> int:
     return parse_worker_count(value, what=WORKERS_ENV_VAR)
 
 
-def make_runner(workers: Optional[int] = None) -> "CampaignRunner":
-    """Build a runner for ``workers`` processes (``None`` → environment default)."""
+def parse_batch_size(value: Union[str, int], what: str = "batch_size") -> int:
+    """Parse a batch size: a positive integer."""
+    if not isinstance(value, int):
+        try:
+            value = int(str(value).strip())
+        except ValueError as exc:
+            raise ValueError(f"{what} must be a positive integer, got {value!r}") from exc
+    if value <= 0:
+        raise ValueError(f"{what} must be positive, got {value}")
+    return value
+
+
+def default_batch_size() -> int:
+    """Default campaign batch size: ``REPRO_CAMPAIGN_BATCH`` or 1."""
+    value = os.environ.get(BATCH_ENV_VAR)
+    if value is None:
+        return 1
+    return parse_batch_size(value, what=BATCH_ENV_VAR)
+
+
+def make_runner(
+    workers: Optional[int] = None, batch_size: Optional[int] = None
+) -> "CampaignRunner":
+    """Build a runner from the worker-count and batch-size knobs.
+
+    ``None`` resolves each knob through its environment variable
+    (``REPRO_CAMPAIGN_WORKERS`` / ``REPRO_CAMPAIGN_BATCH``, both defaulting
+    to 1).  ``batch_size > 1`` selects :class:`BatchedRunner` (which itself
+    composes with ``workers``); otherwise ``workers`` picks between
+    :class:`SerialRunner` and :class:`ParallelRunner`.
+    """
     if workers is None:
         workers = default_workers()
     if workers <= 0:
         raise ValueError(f"workers must be positive, got {workers}")
+    if batch_size is None:
+        batch_size = default_batch_size()
+    if batch_size <= 0:
+        raise ValueError(f"batch_size must be positive, got {batch_size}")
+    if batch_size > 1:
+        return BatchedRunner(batch_size=batch_size, workers=workers)
     if workers == 1:
         return SerialRunner()
     return ParallelRunner(workers=workers)
+
+
+def supports_batching(trial_fn) -> bool:
+    """Whether a trial function exposes a vectorized ``run_batch(rngs)``.
+
+    A batchable trial function is an ordinary scalar trial callable that
+    additionally implements ``run_batch(rngs)``, taking one independent
+    ``np.random.Generator`` per trial and returning the matching list of
+    ``TrialOutcome``.  The contract is differential: ``run_batch([r0, ..])``
+    must produce outcomes bit-identical to calling the scalar path once per
+    generator.
+    """
+    return callable(getattr(trial_fn, "run_batch", None))
 
 
 class TrialExecutionError(RuntimeError):
@@ -159,6 +226,51 @@ def _init_worker(trial_fn) -> None:
     _WORKER_TRIAL_FN = trial_fn
 
 
+def _resolve_start_method(start_method: Optional[str]) -> str:
+    """Default ``multiprocessing`` start method for the campaign engines.
+
+    ``"fork"`` on Linux (required for closure trial functions), the platform
+    default elsewhere — forking is unsafe on macOS, whose default is
+    ``"spawn"``, which needs picklable trial functions.  Shared by every
+    pool-backed runner so the platform heuristic cannot drift between them.
+    """
+    if start_method is not None:
+        return start_method
+    if sys.platform.startswith("linux") and "fork" in multiprocessing.get_all_start_methods():
+        return "fork"
+    return multiprocessing.get_start_method()
+
+
+def _run_on_pool(
+    start_method: str,
+    processes: int,
+    trial_fn,
+    remote_fn,
+    items: Sequence,
+    chunksize: int,
+    handle_result: Callable,
+) -> None:
+    """Run ``remote_fn`` over ``items`` on a worker pool, streaming results.
+
+    Owns the pool lifecycle (initializer installing the trial function,
+    unordered streaming, terminate/join cleanup) for both the per-trial and
+    per-batch engines; ``handle_result`` receives each worker result and may
+    raise to abort the campaign.
+    """
+    ctx = multiprocessing.get_context(start_method)
+    pool = ctx.Pool(
+        processes=processes,
+        initializer=_init_worker,
+        initargs=(trial_fn,),
+    )
+    try:
+        for result in pool.imap_unordered(remote_fn, items, chunksize=chunksize):
+            handle_result(result)
+    finally:
+        pool.terminate()
+        pool.join()
+
+
 def _run_remote_trial(task: TrialTask):
     """Worker-side trial execution; exceptions are shipped back as data."""
     index, seed = task
@@ -169,6 +281,52 @@ def _run_remote_trial(task: TrialTask):
     except Exception as exc:  # surfaced as TrialExecutionError in the parent;
         # KeyboardInterrupt/SystemExit must keep killing the worker normally.
         return index, None, (f"{type(exc).__name__}: {exc}", traceback.format_exc())
+
+
+def _execute_batch(trial_fn, batch: Sequence[TrialTask]) -> List[Tuple[int, "TrialOutcome"]]:
+    """Run one batch of trials, vectorized when the trial function allows it.
+
+    Each trial still receives a generator built from its own ``SeedSequence``
+    child, so outcomes are independent of how the campaign was batched.
+    """
+    indices = [index for index, _ in batch]
+    rngs = [np.random.default_rng(seed) for _, seed in batch]
+    if supports_batching(trial_fn):
+        outcomes = trial_fn.run_batch(rngs)
+        outcomes = list(outcomes)
+        if len(outcomes) != len(batch):
+            raise ValueError(
+                f"run_batch returned {len(outcomes)} outcomes for a batch of "
+                f"{len(batch)} trials (indices {indices[0]}..{indices[-1]})"
+            )
+        return [
+            (index, _validated(outcome, index))
+            for index, outcome in zip(indices, outcomes)
+        ]
+    return [
+        (index, _validated(trial_fn(rng), index))
+        for index, rng in zip(indices, rngs)
+    ]
+
+
+def _run_remote_batch(batch: Sequence[TrialTask]):
+    """Worker-side batch execution; exceptions are shipped back as data."""
+    if not supports_batching(_WORKER_TRIAL_FN):
+        # Scalar fallback inside the batch: run trial by trial so a failure
+        # is attributed to the exact trial that raised.
+        results = []
+        for task in batch:
+            index, outcome, error = _run_remote_trial(task)
+            if error is not None:
+                return None, (index, error[0], error[1])
+            results.append((index, outcome))
+        return results, None
+    try:
+        return _execute_batch(_WORKER_TRIAL_FN, batch), None
+    except Exception as exc:
+        # A vectorized failure cannot be pinned on one trial; report the
+        # first index of the batch alongside the worker traceback.
+        return None, (batch[0][0], f"{type(exc).__name__}: {exc}", traceback.format_exc())
 
 
 class ParallelRunner(CampaignRunner):
@@ -201,12 +359,7 @@ class ParallelRunner(CampaignRunner):
             raise ValueError(f"chunk_size must be positive, got {chunk_size}")
         self.workers = workers or (os.cpu_count() or 1)
         self.chunk_size = chunk_size
-        if start_method is None:
-            if sys.platform.startswith("linux") and "fork" in multiprocessing.get_all_start_methods():
-                start_method = "fork"
-            else:
-                start_method = multiprocessing.get_start_method()
-        self.start_method = start_method
+        self.start_method = _resolve_start_method(start_method)
 
     def _resolve_chunk_size(self, n_tasks: int) -> int:
         if self.chunk_size is not None:
@@ -224,26 +377,117 @@ class ParallelRunner(CampaignRunner):
         tasks = list(tasks)
         if not tasks:
             return []
-        ctx = multiprocessing.get_context(self.start_method)
-        chunk = self._resolve_chunk_size(len(tasks))
         results: List[Tuple[int, "TrialOutcome"]] = []
-        pool = ctx.Pool(
-            processes=min(self.workers, len(tasks)),
-            initializer=_init_worker,
-            initargs=(trial_fn,),
+
+        def handle(result) -> None:
+            index, outcome, error = result
+            if error is not None:
+                message, worker_tb = error
+                raise TrialExecutionError(index, message, worker_tb)
+            results.append((index, outcome))
+            if on_result is not None:
+                on_result(index, outcome)
+
+        _run_on_pool(
+            self.start_method,
+            min(self.workers, len(tasks)),
+            trial_fn,
+            _run_remote_trial,
+            tasks,
+            self._resolve_chunk_size(len(tasks)),
+            handle,
         )
-        try:
-            for index, outcome, error in pool.imap_unordered(
-                _run_remote_trial, tasks, chunksize=chunk
-            ):
-                if error is not None:
-                    message, worker_tb = error
-                    raise TrialExecutionError(index, message, worker_tb)
+        results.sort(key=lambda pair: pair[0])
+        return results
+
+
+class BatchedRunner(CampaignRunner):
+    """Runs trials in fixed-size batches, vectorized when the trial allows.
+
+    Tasks are grouped into consecutive batches of ``batch_size``; a trial
+    function that implements ``run_batch(rngs)`` (see
+    :func:`supports_batching`) evaluates each batch through one set of
+    stacked numpy operations, while plain trial functions run scalar inside
+    each batch.  The final batch of a campaign may be ragged (smaller than
+    ``batch_size``); ``run_batch`` implementations must accept any length.
+
+    Because every trial keeps its own ``SeedSequence``-derived generator and
+    batchable trial functions are contractually bit-identical to their
+    scalar paths, outcomes do not depend on the batch size.
+
+    Parameters
+    ----------
+    batch_size:
+        Trials evaluated together per vectorized call (``None`` → the
+        ``REPRO_CAMPAIGN_BATCH`` default).
+    workers:
+        When > 1, batches are fanned out over a ``multiprocessing`` pool
+        (the :class:`ParallelRunner` composition); each worker then runs
+        whole batches vectorized.
+    start_method:
+        Pool start method, as for :class:`ParallelRunner`.
+    """
+
+    def __init__(
+        self,
+        batch_size: Optional[int] = None,
+        workers: int = 1,
+        start_method: Optional[str] = None,
+    ) -> None:
+        if batch_size is None:
+            batch_size = default_batch_size()
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        if workers <= 0:
+            raise ValueError(f"workers must be positive, got {workers}")
+        self.batch_size = batch_size
+        self.workers = workers
+        self.start_method = _resolve_start_method(start_method)
+
+    def _batches(self, tasks: Sequence[TrialTask]) -> List[List[TrialTask]]:
+        return [
+            list(tasks[start : start + self.batch_size])
+            for start in range(0, len(tasks), self.batch_size)
+        ]
+
+    def run_trials(
+        self,
+        trial_fn,
+        tasks: Sequence[TrialTask],
+        on_result: Optional[ResultCallback] = None,
+    ) -> List[Tuple[int, "TrialOutcome"]]:
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        batches = self._batches(tasks)
+        results: List[Tuple[int, "TrialOutcome"]] = []
+
+        def collect(batch_results: List[Tuple[int, "TrialOutcome"]]) -> None:
+            for index, outcome in batch_results:
                 results.append((index, outcome))
                 if on_result is not None:
                     on_result(index, outcome)
-        finally:
-            pool.terminate()
-            pool.join()
+
+        if self.workers == 1 or len(batches) == 1:
+            for batch in batches:
+                collect(_execute_batch(trial_fn, batch))
+        else:
+
+            def handle(result) -> None:
+                batch_results, error = result
+                if error is not None:
+                    index, message, worker_tb = error
+                    raise TrialExecutionError(index, message, worker_tb)
+                collect(batch_results)
+
+            _run_on_pool(
+                self.start_method,
+                min(self.workers, len(batches)),
+                trial_fn,
+                _run_remote_batch,
+                batches,
+                1,
+                handle,
+            )
         results.sort(key=lambda pair: pair[0])
         return results

@@ -17,7 +17,7 @@ import numpy as np
 
 from repro.quant.qtensor import QTensor
 
-__all__ = ["FaultPattern", "BufferSelector"]
+__all__ = ["FaultPattern", "BufferSelector", "apply_patterns_stacked"]
 
 
 @dataclass(frozen=True)
@@ -82,6 +82,57 @@ class FaultPattern:
             "kind": kind,
             "num_faults": self.num_faults,
         }
+
+
+def apply_patterns_stacked(
+    patterns: Sequence[Optional[FaultPattern]], tensor: QTensor
+) -> None:
+    """Apply one fault pattern per replica to a stacked ``(B, ...)`` buffer.
+
+    ``tensor`` holds B replicas of one logical buffer along its leading
+    axis (see :meth:`~repro.quant.qtensor.QTensor.replicate`);
+    ``patterns[r]`` addresses flat elements of replica ``r``'s *unit*
+    buffer, exactly as it would address the scalar buffer.  ``None``
+    entries (and empty patterns) leave their replica untouched.
+
+    All B patterns are applied through one vectorized bit operation per
+    fault kind — the per-replica element indices are offset into the
+    stacked flat view and handed to a single
+    :func:`~repro.quant.bitops.flip_bits` / ``apply_stuck_at`` call.
+    Because the bit operations touch each addressed (element, bit) site
+    independently, the result is bit-identical to applying each pattern to
+    its replica's slice on its own.
+    """
+    if tensor.shape == () or tensor.shape[0] != len(patterns):
+        raise ValueError(
+            f"stacked buffer {tensor.name!r} has leading axis "
+            f"{tensor.shape[0] if tensor.shape else 'none'} but "
+            f"{len(patterns)} patterns were given"
+        )
+    n_replicas = len(patterns)
+    unit_size = tensor.size // n_replicas
+
+    grouped: Dict[Optional[int], List[np.ndarray]] = {}
+    for replica, pattern in enumerate(patterns):
+        if pattern is None or pattern.num_faults == 0:
+            continue
+        if pattern.element_indices.max(initial=0) >= unit_size:
+            raise ValueError(
+                f"pattern for replica {replica} addresses element "
+                f"{int(pattern.element_indices.max())} but each replica of "
+                f"{tensor.name!r} has only {unit_size} elements"
+            )
+        sites = grouped.setdefault(pattern.stuck_value, [])
+        sites.append(pattern.element_indices + replica * unit_size)
+        sites.append(pattern.bit_positions)
+
+    for stuck_value, sites in grouped.items():
+        elements = np.concatenate(sites[0::2])
+        bits = np.concatenate(sites[1::2])
+        if stuck_value is None:
+            tensor.inject_bit_flips(elements, bits)
+        else:
+            tensor.inject_stuck_at(elements, bits, stuck_value)
 
 
 @dataclass

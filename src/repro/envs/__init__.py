@@ -10,8 +10,10 @@ Two template problems from the paper:
 """
 
 from repro.envs.base import Environment
+from repro.envs.batched import BatchedEnv, EnvPool
 from repro.envs.gridworld import (
     GridWorld,
+    GridWorldBatch,
     GridLayout,
     LOW_DENSITY,
     MIDDLE_DENSITY,
@@ -22,7 +24,10 @@ from repro.envs.drone import DroneNavEnv, make_drone_env
 
 __all__ = [
     "Environment",
+    "BatchedEnv",
+    "EnvPool",
     "GridWorld",
+    "GridWorldBatch",
     "GridLayout",
     "LOW_DENSITY",
     "MIDDLE_DENSITY",

@@ -1,0 +1,114 @@
+"""Batched environment stepping.
+
+The batched inference-campaign engine evaluates B fault-injected policy
+replicas simultaneously, which requires stepping B *independent* episodes in
+lockstep.  :class:`BatchedEnv` is the interface the batched rollout engine
+(:func:`repro.rl.evaluation.greedy_rollouts`) drives:
+
+* :meth:`BatchedEnv.reset_all` starts a fresh episode in every replica;
+* :meth:`BatchedEnv.step_many` applies one action per *active* replica —
+  replicas finish independently, so the rollout engine passes the indices
+  of the episodes still running.
+
+Two implementations exist: :class:`~repro.envs.gridworld.GridWorldBatch`
+steps all Grid World replicas through vectorized integer math, while
+:class:`EnvPool` wraps any collection of scalar environments (e.g. the
+drone simulator, which stays scalar) behind the same interface.  Both are
+exact: replica ``r`` of a batched run visits the same states, rewards and
+``info`` dictionaries as a scalar environment stepped with the same
+actions.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.envs.base import Environment
+
+__all__ = ["BatchedEnv", "EnvPool"]
+
+
+class BatchedEnv:
+    """B independent episodic environments stepped together.
+
+    Subclasses must implement :meth:`reset_all` and :meth:`step_many`.
+    """
+
+    #: Number of discrete actions (shared by every replica).
+    n_actions: int
+
+    #: Number of independent replicas.
+    n_replicas: int
+
+    def reset_all(self) -> List[Any]:
+        """Start a new episode in every replica; return the initial states."""
+        raise NotImplementedError
+
+    def step_many(
+        self, actions: Sequence[int], indices: Sequence[int]
+    ) -> Tuple[List[Any], np.ndarray, np.ndarray, List[Dict[str, Any]]]:
+        """Apply ``actions[j]`` to replica ``indices[j]``.
+
+        Returns ``(next_states, rewards, dones, infos)``, each aligned with
+        ``indices`` (length ``len(indices)``, *not* ``n_replicas``).  Every
+        replica behaves exactly like a scalar environment stepped with the
+        same action sequence.
+        """
+        raise NotImplementedError
+
+    def _check_actions(self, actions: np.ndarray) -> None:
+        if actions.size and (actions.min() < 0 or actions.max() >= self.n_actions):
+            raise ValueError(
+                f"actions must lie in [0, {self.n_actions}), got range "
+                f"[{actions.min()}, {actions.max()}]"
+            )
+
+
+class EnvPool(BatchedEnv):
+    """Scalar fallback: independent scalar environments behind the batched API.
+
+    Used for environments without a native vectorized stepping mode (the
+    drone simulator); each replica owns one scalar environment instance, so
+    batched campaigns remain bit-identical even where only the policy side
+    is vectorized.
+    """
+
+    def __init__(self, envs: Sequence[Environment]) -> None:
+        envs = list(envs)
+        if not envs:
+            raise ValueError("EnvPool needs at least one environment")
+        actions = {env.n_actions for env in envs}
+        if len(actions) != 1:
+            raise ValueError(f"pool environments disagree on n_actions: {sorted(actions)}")
+        self.envs = envs
+        self.n_actions = envs[0].n_actions
+        self.n_replicas = len(envs)
+
+    @classmethod
+    def from_factory(
+        cls, factory: Callable[[], Environment], n_replicas: int
+    ) -> "EnvPool":
+        """Build a pool of ``n_replicas`` environments from a factory."""
+        if n_replicas <= 0:
+            raise ValueError(f"n_replicas must be positive, got {n_replicas}")
+        return cls([factory() for _ in range(n_replicas)])
+
+    def reset_all(self) -> List[Any]:
+        return [env.reset() for env in self.envs]
+
+    def step_many(
+        self, actions: Sequence[int], indices: Sequence[int]
+    ) -> Tuple[List[Any], np.ndarray, np.ndarray, List[Dict[str, Any]]]:
+        states: List[Any] = []
+        rewards = np.empty(len(indices), dtype=np.float64)
+        dones = np.zeros(len(indices), dtype=bool)
+        infos: List[Dict[str, Any]] = []
+        for j, (action, index) in enumerate(zip(actions, indices)):
+            state, reward, done, info = self.envs[index].step(int(action))
+            states.append(state)
+            rewards[j] = reward
+            dones[j] = done
+            infos.append(info)
+        return states, rewards, dones, infos

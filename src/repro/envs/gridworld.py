@@ -12,15 +12,17 @@ placements at matching densities with a guaranteed path to the goal).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.envs.base import Environment
+from repro.envs.batched import BatchedEnv
 
 __all__ = [
     "GridLayout",
     "GridWorld",
+    "GridWorldBatch",
     "LOW_DENSITY",
     "MIDDLE_DENSITY",
     "HIGH_DENSITY",
@@ -253,6 +255,24 @@ class GridWorld(Environment):
         return self.state_index(self._position), reward, False, {"success": False}
 
     # ------------------------------------------------------------------ #
+    # Batched stepping
+    # ------------------------------------------------------------------ #
+    def batched(self, n_replicas: int) -> "GridWorldBatch":
+        """A vectorized batch of ``n_replicas`` independent copies of this env.
+
+        The batch shares this environment's layout and reward structure and
+        steps all replicas through vectorized integer math; each replica's
+        episode is bit-identical to stepping this environment scalar-ly with
+        the same actions.  Only deterministic (source-cell) starts are
+        supported — evaluation episodes always start from the source, and a
+        ``random_start`` environment would need per-replica RNG plumbing
+        that batched campaigns deliberately avoid.
+        """
+        if self.random_start:
+            raise ValueError("batched stepping supports deterministic starts only")
+        return GridWorldBatch(self, n_replicas)
+
+    # ------------------------------------------------------------------ #
     # Analysis helpers
     # ------------------------------------------------------------------ #
     def shortest_path_length(self) -> int:
@@ -287,6 +307,89 @@ class GridWorld(Environment):
                 chars[position[1]] = "A"
             lines.append("".join(chars))
         return "\n".join(lines)
+
+
+#: Cell-type codes used by the vectorized stepping kernel.
+_CELL_FREE, _CELL_GOAL, _CELL_HELL = 0, 1, 2
+
+#: Action deltas as arrays indexed by action, for vectorized stepping.
+_DELTA_ROW = np.array([ACTION_DELTAS[a][0] for a in range(len(ACTION_DELTAS))], dtype=np.int64)
+_DELTA_COL = np.array([ACTION_DELTAS[a][1] for a in range(len(ACTION_DELTAS))], dtype=np.int64)
+
+
+class GridWorldBatch(BatchedEnv):
+    """Vectorized lockstep stepping of B independent Grid World episodes.
+
+    This is the Grid World's batched-stepping mode (built through
+    :meth:`GridWorld.batched`): replica positions live in one integer
+    array, and :meth:`step_many` resolves moves, boundary bumps, rewards
+    and termination for every active replica with a handful of vectorized
+    operations instead of B Python-level ``step`` calls.  The dynamics are
+    purely integer/table lookups, so each replica's trajectory is exactly
+    the scalar :meth:`GridWorld.step` trajectory for the same actions.
+    """
+
+    def __init__(self, env: GridWorld, n_replicas: int) -> None:
+        if n_replicas <= 0:
+            raise ValueError(f"n_replicas must be positive, got {n_replicas}")
+        self.layout = env.layout
+        self.n_actions = env.n_actions
+        self.n_replicas = n_replicas
+        self.height, self.width = env.height, env.width
+        self._source_state = env.source_state
+        self._goal_reward = env.goal_reward
+        self._hell_reward = env.hell_reward
+        self._free_reward = env.free_reward
+        self._bump_reward = env.bump_reward
+        cells = np.full(self.layout.n_cells, _CELL_FREE, dtype=np.int64)
+        for r, row in enumerate(self.layout.rows):
+            for c, symbol in enumerate(row):
+                if symbol == GOAL:
+                    cells[r * self.width + c] = _CELL_GOAL
+                elif symbol == HELL:
+                    cells[r * self.width + c] = _CELL_HELL
+        self._cell_types = cells
+        self._states = np.full(n_replicas, self._source_state, dtype=np.int64)
+
+    def reset_all(self) -> List[int]:
+        self._states[:] = self._source_state
+        return [int(s) for s in self._states]
+
+    def step_many(
+        self, actions: Sequence[int], indices: Sequence[int]
+    ) -> Tuple[List[int], np.ndarray, np.ndarray, List[Dict[str, bool]]]:
+        actions = np.asarray(actions, dtype=np.int64)
+        indices = np.asarray(indices, dtype=np.int64)
+        if actions.shape != indices.shape:
+            raise ValueError("actions and indices must have the same shape")
+        self._check_actions(actions)
+        rows, cols = np.divmod(self._states[indices], self.width)
+        new_rows = rows + _DELTA_ROW[actions]
+        new_cols = cols + _DELTA_COL[actions]
+        bumped = (
+            (new_rows < 0)
+            | (new_rows >= self.height)
+            | (new_cols < 0)
+            | (new_cols >= self.width)
+        )
+        new_rows = np.where(bumped, rows, new_rows)
+        new_cols = np.where(bumped, cols, new_cols)
+        states = new_rows * self.width + new_cols
+        self._states[indices] = states
+
+        cell = self._cell_types[states]
+        rewards = np.where(
+            cell == _CELL_GOAL,
+            self._goal_reward,
+            np.where(
+                cell == _CELL_HELL,
+                self._hell_reward,
+                np.where(bumped, self._bump_reward, self._free_reward),
+            ),
+        ).astype(np.float64)
+        dones = cell != _CELL_FREE
+        infos = [{"success": bool(c == _CELL_GOAL)} for c in cell]
+        return [int(s) for s in states], rewards, dones, infos
 
 
 def make_gridworld(density: str = "middle", **kwargs) -> GridWorld:

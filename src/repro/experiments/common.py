@@ -79,19 +79,23 @@ def run_campaign(
     *,
     runner: Optional[CampaignRunner] = None,
     workers: Optional[int] = None,
+    batch_size: Optional[int] = None,
     checkpoint_dir: Union[str, Path, None] = None,
     resume: bool = False,
     progress: Optional[ProgressFn] = None,
 ) -> CampaignResult:
     """Execute a campaign with the experiment-level runner / checkpoint knobs.
 
-    ``runner`` wins over ``workers``; with neither, the engine comes from
-    ``REPRO_CAMPAIGN_WORKERS`` (serial by default).  When ``checkpoint_dir``
-    is given, outcomes stream to ``<checkpoint_dir>/<campaign name>.jsonl``
-    and ``resume=True`` skips trials already recorded there.
+    ``runner`` wins over ``workers`` / ``batch_size``; with neither, the
+    engine comes from ``REPRO_CAMPAIGN_WORKERS`` / ``REPRO_CAMPAIGN_BATCH``
+    (serial by default).  ``batch_size > 1`` selects the batched engine,
+    which vectorizes trial functions implementing ``run_batch`` and falls
+    back to scalar execution otherwise.  When ``checkpoint_dir`` is given,
+    outcomes stream to ``<checkpoint_dir>/<campaign name>.jsonl`` and
+    ``resume=True`` skips trials already recorded there.
     """
     if runner is None:
-        runner = make_runner(workers)
+        runner = make_runner(workers, batch_size)
     checkpoint = None
     if checkpoint_dir is not None:
         checkpoint = CampaignCheckpoint(

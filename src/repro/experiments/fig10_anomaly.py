@@ -42,12 +42,18 @@ def run_gridworld_anomaly_mitigation(
     repetitions: Optional[int] = None,
     episodes_per_trial: int = 5,
     workers: Optional[int] = None,
+    batch_size: Optional[int] = None,
     checkpoint_dir=None,
     resume: bool = False,
 ) -> ResultTable:
-    """Fig. 10a — Grid World NN inference success rate, mitigation on vs off."""
+    """Fig. 10a — Grid World NN inference success rate, mitigation on vs off.
+
+    ``batch_size`` selects the batched campaign engine; the detector-scrub
+    trials have no vectorized implementation yet, so batches fall back to
+    scalar execution (outcomes are unchanged either way).
+    """
     repetitions = repetitions or config.repetitions
-    runner = make_runner(workers)
+    runner = make_runner(workers, batch_size)
     rng = np.random.default_rng(seed)
     agent, eval_env, _ = train_grid_nn(config, rng)
 
@@ -103,12 +109,18 @@ def run_drone_anomaly_mitigation(
     seed: int = 0,
     repetitions: Optional[int] = None,
     workers: Optional[int] = None,
+    batch_size: Optional[int] = None,
     checkpoint_dir=None,
     resume: bool = False,
 ) -> ResultTable:
-    """Fig. 10b — drone flight distance under weight faults, mitigation on vs off."""
+    """Fig. 10b — drone flight distance under weight faults, mitigation on vs off.
+
+    ``batch_size`` selects the batched campaign engine; the drone trials
+    stay scalar behind it (no vectorized implementation), so batches fall
+    back to scalar execution with unchanged outcomes.
+    """
     repetitions = repetitions or config.repetitions
-    runner = make_runner(workers)
+    runner = make_runner(workers, batch_size)
     bundle = build_drone_bundle(config, seed=seed)
 
     table = ResultTable(title="Fig10b drone anomaly-detection mitigation")

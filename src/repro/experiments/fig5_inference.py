@@ -11,17 +11,29 @@ modes (Sec. 4.1.2):
 Permanent stuck-at-0 / stuck-at-1 faults affect the whole episode as well.
 The clean policy is trained once per configuration and the injection is then
 repeated many times with independent fault sites.
+
+Both trial families implement the batched-execution protocol
+(``run_batch``): under a :class:`~repro.core.runner.BatchedRunner` each
+batch of B trials becomes B policy *replicas* evaluated simultaneously —
+fault patterns apply to stacked quantized buffers in one vectorized bit
+operation, Q-values come from one stacked forward pass per step, and the
+Grid World steps all replicas through vectorized integer math.  Every
+replica samples its faults from its own trial RNG in the scalar sampling
+order, so batched campaign outcomes are bit-identical to serial ones
+(enforced by ``tests/test_batched_parity.py``).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.core.campaign import Campaign, TrialOutcome
-from repro.core.fault_models import StuckAtFault, TransientBitFlip
+from repro.core.evaluator import BatchedEvaluator
+from repro.core.fault_models import FaultModel, StuckAtFault, TransientBitFlip
 from repro.core.runner import make_runner
+from repro.core.sites import apply_patterns_stacked
 from repro.experiments.common import (
     greedy_policy,
     run_campaign,
@@ -32,7 +44,7 @@ from repro.experiments.config import GridNNConfig, GridTabularConfig
 from repro.io.results import ResultTable
 from repro.nn.buffers import QuantizedExecutor
 from repro.rl.dqn import DQNAgent
-from repro.rl.evaluation import greedy_rollout
+from repro.rl.evaluation import greedy_rollout, greedy_rollouts
 from repro.rl.tabular import TabularQAgent
 
 __all__ = ["INFERENCE_FAULT_MODES", "run_inference_fault_sweep"]
@@ -41,6 +53,17 @@ GridConfig = Union[GridTabularConfig, GridNNConfig]
 
 #: The four fault modes plotted in Fig. 5.
 INFERENCE_FAULT_MODES = ("transient-1", "transient-m", "stuck-at-0", "stuck-at-1")
+
+#: Modes whose faults are injected into the policy memory before the episode.
+_MEMORY_FAULT_MODES = ("transient-m", "stuck-at-0", "stuck-at-1")
+
+
+def _memory_fault_model(mode: str, ber: float) -> FaultModel:
+    if mode == "transient-m":
+        return TransientBitFlip(ber)
+    if mode == "stuck-at-0":
+        return StuckAtFault(ber, stuck_value=0)
+    return StuckAtFault(ber, stuck_value=1)
 
 
 # --------------------------------------------------------------------------- #
@@ -64,12 +87,8 @@ def _tabular_episode(
     """
     working = agent.clone(rng=np.random.default_rng(rng.integers(2**63)))
     table = working.memory_buffers()["qtable"]
-    if mode == "transient-m":
-        TransientBitFlip(ber).inject(table, rng)
-    elif mode == "stuck-at-0":
-        StuckAtFault(ber, stuck_value=0).inject(table, rng)
-    elif mode == "stuck-at-1":
-        StuckAtFault(ber, stuck_value=1).inject(table, rng)
+    if mode in _MEMORY_FAULT_MODES:
+        _memory_fault_model(mode, ber).inject(table, rng)
 
     fault_step = int(rng.integers(max_steps)) if mode == "transient-1" else -1
     state = env.reset()
@@ -88,6 +107,95 @@ def _tabular_episode(
     return False
 
 
+class _TabularInferenceTrial:
+    """One Fig. 5 tabular campaign trial: N faulted inference episodes.
+
+    Scalar execution (``__call__``) runs :func:`_tabular_episode` once per
+    episode.  Batched execution (``run_batch``) evaluates the whole batch of
+    trials as policy replicas: the Q table is replicated into a stacked
+    buffer, all replicas' fault patterns apply in one vectorized bit
+    operation, the stacked table is decoded once per episode (instead of
+    once per step per trial), and the Grid World replicas step in lockstep.
+    Tie-breaking draws still come from each replica's own derived generator
+    in the scalar order, so both paths are bit-identical.
+    """
+
+    def __init__(
+        self,
+        agent: TabularQAgent,
+        env,
+        mode: str,
+        ber: float,
+        max_steps: int,
+        episodes_per_trial: int,
+    ) -> None:
+        self.agent = agent
+        self.env = env
+        self.mode = mode
+        self.ber = ber
+        self.max_steps = max_steps
+        self.episodes_per_trial = episodes_per_trial
+
+    def __call__(self, rng: np.random.Generator) -> TrialOutcome:
+        successes = [
+            _tabular_episode(self.agent, self.env, self.mode, self.ber, rng, self.max_steps)
+            for _ in range(self.episodes_per_trial)
+        ]
+        return TrialOutcome(success=None, metric=float(np.mean(successes)))
+
+    def run_batch(self, rngs: Sequence[np.random.Generator]) -> List[TrialOutcome]:
+        successes: List[List[bool]] = [[] for _ in rngs]
+        for _ in range(self.episodes_per_trial):
+            for replica, ok in enumerate(self._episode_batch(rngs)):
+                successes[replica].append(ok)
+        return [
+            TrialOutcome(success=None, metric=float(np.mean(trial_successes)))
+            for trial_successes in successes
+        ]
+
+    def _episode_batch(self, rngs: Sequence[np.random.Generator]) -> List[bool]:
+        n = len(rngs)
+        table = self.agent.memory_buffers()["qtable"]
+        # Per-replica draw order matches the scalar episode: clone seed,
+        # fault-site sampling, then (for transient-1) the fault step.
+        working_rngs = [np.random.default_rng(rng.integers(2**63)) for rng in rngs]
+        stacked = table.replicate(n)
+        if self.mode in _MEMORY_FAULT_MODES:
+            model = _memory_fault_model(self.mode, self.ber)
+            patterns = [model.sample_pattern(table, rng) for rng in rngs]
+            apply_patterns_stacked(patterns, stacked)
+        fault_steps = [
+            int(rng.integers(self.max_steps)) if self.mode == "transient-1" else -1
+            for rng in rngs
+        ]
+        q_stack = stacked.values / self.agent.value_scale
+
+        def policy(step: int, indices: np.ndarray, states: List[object]) -> List[int]:
+            actions = []
+            for j, replica in enumerate(indices):
+                if step == fault_steps[replica] and self.ber > 0:
+                    actions.append(self._transient1_action(rngs[replica], states[j]))
+                else:
+                    row = q_stack[replica, states[j]]
+                    best = np.flatnonzero(row == row.max())
+                    actions.append(int(working_rngs[replica].choice(best)))
+            return actions
+
+        rollouts = greedy_rollouts(policy, self.env.batched(n), max_steps=self.max_steps)
+        return [rollout.success for rollout in rollouts]
+
+    def _transient1_action(self, rng: np.random.Generator, state: int) -> int:
+        # Mirrors the scalar scratch-clone: seed draw, fresh clean table,
+        # transient injection, then a tie-broken greedy pick from the scratch
+        # generator.
+        scratch_rng = np.random.default_rng(rng.integers(2**63))
+        scratch = self.agent.memory_buffers()["qtable"].copy()
+        TransientBitFlip(self.ber).inject(scratch, rng)
+        row = scratch.values[state] / self.agent.value_scale
+        best = np.flatnonzero(row == row.max())
+        return int(scratch_rng.choice(best))
+
+
 # --------------------------------------------------------------------------- #
 # NN policy corruption
 # --------------------------------------------------------------------------- #
@@ -102,31 +210,28 @@ def _nn_episode(
 ) -> bool:
     """Run one inference episode of the NN policy under the given fault mode."""
     executor = QuantizedExecutor(agent.network, qformat)
-    faulty_executor: Optional[QuantizedExecutor] = None
     try:
-        if mode == "transient-m" and ber > 0:
+        if mode in _MEMORY_FAULT_MODES and ber > 0:
+            model = _memory_fault_model(mode, ber)
             executor.apply_weight_faults(
-                lambda name, tensor: TransientBitFlip(ber).inject(tensor, rng)
-            )
-        elif mode == "stuck-at-0" and ber > 0:
-            executor.apply_weight_faults(
-                lambda name, tensor: StuckAtFault(ber, 0).inject(tensor, rng)
-            )
-        elif mode == "stuck-at-1" and ber > 0:
-            executor.apply_weight_faults(
-                lambda name, tensor: StuckAtFault(ber, 1).inject(tensor, rng)
+                lambda name, tensor: model.inject(tensor, rng)
             )
 
         fault_step = int(rng.integers(max_steps)) if mode == "transient-1" else -1
         state = env.reset()
         for step in range(max_steps):
             if step == fault_step and ber > 0:
-                if faulty_executor is None:
-                    faulty_executor = QuantizedExecutor(agent.network, qformat)
-                    faulty_executor.apply_weight_faults(
-                        lambda name, tensor: TransientBitFlip(ber).inject(tensor, rng)
-                    )
+                # Transient-1 hits a read register: only this one decision
+                # sees the corrupted weights.  Query a one-off faulted
+                # executor and restore the clean weights immediately, so the
+                # remaining steps run clean instead of inheriting the faults
+                # through the shared network.
+                faulty_executor = QuantizedExecutor(agent.network, qformat)
+                faulty_executor.apply_weight_faults(
+                    lambda name, tensor: TransientBitFlip(ber).inject(tensor, rng)
+                )
                 q = faulty_executor.forward(agent.state_encoder(state)[None])[0]
+                faulty_executor.restore_clean_weights()
             else:
                 q = executor.forward(agent.state_encoder(state)[None])[0]
             action = int(np.argmax(q))
@@ -136,8 +241,92 @@ def _nn_episode(
         return False
     finally:
         executor.restore_clean_weights()
-        if faulty_executor is not None:
-            faulty_executor.restore_clean_weights()
+
+
+class _NNInferenceTrial:
+    """One Fig. 5 NN campaign trial: N faulted quantized-inference episodes.
+
+    Scalar execution (``__call__``) runs :func:`_nn_episode` per episode
+    through the scalar :class:`~repro.nn.buffers.QuantizedExecutor`.
+    Batched execution (``run_batch``) builds a
+    :class:`~repro.core.evaluator.BatchedEvaluator` per episode: all trials'
+    weight-fault patterns apply to stacked quantized buffers in one
+    vectorized bit operation, and every environment step evaluates all still
+    -running replicas through a single stacked forward pass.  Both paths are
+    bit-identical for the same trial RNGs.
+    """
+
+    def __init__(
+        self,
+        agent: DQNAgent,
+        env,
+        mode: str,
+        ber: float,
+        max_steps: int,
+        qformat,
+        episodes_per_trial: int,
+    ) -> None:
+        self.agent = agent
+        self.env = env
+        self.mode = mode
+        self.ber = ber
+        self.max_steps = max_steps
+        self.qformat = qformat
+        self.episodes_per_trial = episodes_per_trial
+
+    def __call__(self, rng: np.random.Generator) -> TrialOutcome:
+        successes = [
+            _nn_episode(
+                self.agent, self.env, self.mode, self.ber, rng, self.max_steps, self.qformat
+            )
+            for _ in range(self.episodes_per_trial)
+        ]
+        return TrialOutcome(success=None, metric=float(np.mean(successes)))
+
+    def run_batch(self, rngs: Sequence[np.random.Generator]) -> List[TrialOutcome]:
+        successes: List[List[bool]] = [[] for _ in rngs]
+        for _ in range(self.episodes_per_trial):
+            for replica, ok in enumerate(self._episode_batch(rngs)):
+                successes[replica].append(ok)
+        return [
+            TrialOutcome(success=None, metric=float(np.mean(trial_successes)))
+            for trial_successes in successes
+        ]
+
+    def _episode_batch(self, rngs: Sequence[np.random.Generator]) -> List[bool]:
+        n = len(rngs)
+        evaluator = BatchedEvaluator(self.agent.network, self.qformat, n)
+        if self.mode in _MEMORY_FAULT_MODES and self.ber > 0:
+            evaluator.inject_weight_faults(
+                _memory_fault_model(self.mode, self.ber), rngs
+            )
+        fault_steps = [
+            int(rng.integers(self.max_steps)) if self.mode == "transient-1" else -1
+            for rng in rngs
+        ]
+        encoder = self.agent.state_encoder
+
+        def policy(step: int, indices: np.ndarray, states: List[object]) -> List[int]:
+            encoded = np.stack([encoder(state) for state in states])[:, None, :]
+            greedy = evaluator.greedy_actions(encoded, replicas=indices)
+            actions = [int(action) for action in greedy]
+            if self.ber > 0:
+                for j, replica in enumerate(indices):
+                    if step == fault_steps[replica]:
+                        actions[j] = self._transient1_action(rngs[replica], states[j])
+            return actions
+
+        rollouts = greedy_rollouts(policy, self.env.batched(n), max_steps=self.max_steps)
+        return [rollout.success for rollout in rollouts]
+
+    def _transient1_action(self, rng: np.random.Generator, state: object) -> int:
+        # One-replica faulted evaluator, sampled from the trial generator in
+        # the scalar buffer order — the batched analogue of the scalar
+        # "faulty executor for a single decision step".
+        evaluator = BatchedEvaluator(self.agent.network, self.qformat, 1)
+        evaluator.inject_weight_faults(TransientBitFlip(self.ber), [rng])
+        q = evaluator.forward(self.agent.state_encoder(state)[None][None])
+        return int(np.argmax(q[0]))
 
 
 # --------------------------------------------------------------------------- #
@@ -151,16 +340,24 @@ def run_inference_fault_sweep(
     repetitions: Optional[int] = None,
     episodes_per_trial: int = 5,
     workers: Optional[int] = None,
+    batch_size: Optional[int] = None,
     checkpoint_dir=None,
     resume: bool = False,
 ) -> ResultTable:
-    """Success rate vs BER for each inference fault mode (Fig. 5a / 5b)."""
+    """Success rate vs BER for each inference fault mode (Fig. 5a / 5b).
+
+    ``batch_size > 1`` (or ``REPRO_CAMPAIGN_BATCH``) selects the batched
+    campaign engine, which evaluates that many fault-injected policy
+    replicas per vectorized step; combined with ``workers`` the batches fan
+    out over a process pool.  All engine combinations produce bit-identical
+    tables for the same seed.
+    """
     for mode in fault_modes:
         if mode not in INFERENCE_FAULT_MODES:
             raise ValueError(f"unknown fault mode {mode!r}; choose from {INFERENCE_FAULT_MODES}")
     approach = "nn" if isinstance(config, GridNNConfig) else "tabular"
     repetitions = repetitions or config.repetitions
-    runner = make_runner(workers)
+    runner = make_runner(workers, batch_size)
 
     rng = np.random.default_rng(seed)
     if approach == "nn":
@@ -180,20 +377,15 @@ def run_inference_fault_sweep(
 
     for mode in fault_modes:
         for ber in bit_error_rates:
-            def trial(rng: np.random.Generator, mode=mode, ber=ber) -> TrialOutcome:
-                successes = []
-                for _ in range(episodes_per_trial):
-                    if approach == "nn":
-                        ok = _nn_episode(
-                            agent, eval_env, mode, ber, rng, config.max_steps,
-                            config.weight_qformat,
-                        )
-                    else:
-                        ok = _tabular_episode(
-                            agent, eval_env, mode, ber, rng, config.max_steps
-                        )
-                    successes.append(ok)
-                return TrialOutcome(success=None, metric=float(np.mean(successes)))
+            if approach == "nn":
+                trial = _NNInferenceTrial(
+                    agent, eval_env, mode, ber, config.max_steps,
+                    config.weight_qformat, episodes_per_trial,
+                )
+            else:
+                trial = _TabularInferenceTrial(
+                    agent, eval_env, mode, ber, config.max_steps, episodes_per_trial
+                )
 
             campaign = Campaign(
                 f"fig5-{approach}-{mode}-ber{ber}", repetitions, seed=seed + 1

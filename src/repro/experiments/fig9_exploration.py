@@ -42,13 +42,19 @@ def run_exploration_adjustment_sweep(
     seed: int = 0,
     repetitions: Optional[int] = None,
     workers: Optional[int] = None,
+    batch_size: Optional[int] = None,
     checkpoint_dir=None,
     resume: bool = False,
 ) -> ResultTable:
-    """Fig. 9a/9b — adjusted exploration ratio and episodes to steady exploitation."""
+    """Fig. 9a/9b — adjusted exploration ratio and episodes to steady exploitation.
+
+    ``batch_size`` selects the batched campaign engine; the training trials
+    here have no vectorized implementation, so batches fall back to scalar
+    execution (outcomes are unchanged either way).
+    """
     approach = "nn" if isinstance(config, GridNNConfig) else "tabular"
     repetitions = repetitions or config.repetitions
-    runner = make_runner(workers)
+    runner = make_runner(workers, batch_size)
     inject_episode = config.episodes // 2
     table = ResultTable(title=f"Fig9 exploration adjustment ({approach})")
 
@@ -123,6 +129,7 @@ def run_recovery_speed_correlation(
     recovery_threshold: float = 0.8,
     recovery_window: int = 25,
     workers: Optional[int] = None,
+    batch_size: Optional[int] = None,
     checkpoint_dir=None,
     resume: bool = False,
 ) -> ResultTable:
@@ -134,7 +141,7 @@ def run_recovery_speed_correlation(
     """
     approach = "nn" if isinstance(config, GridNNConfig) else "tabular"
     repetitions = repetitions or config.repetitions
-    runner = make_runner(workers)
+    runner = make_runner(workers, batch_size)
     inject_episode = config.episodes // 2
     table = ResultTable(title=f"Fig9c recovery speed vs exploration ratio ({approach})")
 

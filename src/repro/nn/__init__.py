@@ -25,7 +25,12 @@ from repro.nn.network import Sequential
 from repro.nn.optim import SGD, Adam
 from repro.nn.losses import mse_loss, huber_loss
 from repro.nn.initializers import he_uniform, glorot_uniform, zeros_init
-from repro.nn.buffers import BufferSet, QuantizedExecutor, LayerRangeProfile
+from repro.nn.buffers import (
+    BatchedQuantizedExecutor,
+    BufferSet,
+    LayerRangeProfile,
+    QuantizedExecutor,
+)
 
 __all__ = [
     "Layer",
@@ -44,5 +49,6 @@ __all__ = [
     "zeros_init",
     "BufferSet",
     "QuantizedExecutor",
+    "BatchedQuantizedExecutor",
     "LayerRangeProfile",
 ]

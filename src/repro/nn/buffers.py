@@ -28,6 +28,7 @@ from repro.quant.qtensor import QTensor
 __all__ = [
     "BufferSet",
     "QuantizedExecutor",
+    "BatchedQuantizedExecutor",
     "LayerRangeProfile",
     "INPUT_BUFFER",
     "weight_buffer_name",
@@ -279,3 +280,164 @@ class QuantizedExecutor:
             profile.record_activation(layer.name, quantized)
             out = quantized
         return profile
+
+
+class BatchedQuantizedExecutor:
+    """Run B fault-injected replicas of one network through stacked buffers.
+
+    This is the vectorized counterpart of :class:`QuantizedExecutor`: every
+    weight buffer is held as one ``(B, *param_shape)`` stacked
+    :class:`~repro.quant.qtensor.QTensor`, so B independently sampled fault
+    patterns can be applied in a single bit operation (see
+    :func:`~repro.core.sites.apply_patterns_stacked`), and a forward pass
+    evaluates all replicas through one stacked numpy call per layer.
+
+    The semantics mirror the scalar executor replica-wise, and every
+    replica's result is bit-identical to what a scalar
+    :class:`QuantizedExecutor` produces for the same faults:
+
+    * before :meth:`apply_weight_faults` is called, forwards use the live
+      (float) network parameters broadcast across replicas — exactly like a
+      fresh scalar executor, whose construction does not quantize the
+      network in place;
+    * after it, forwards use each replica's decoded (quantized, possibly
+      corrupted) weight stack — exactly like a scalar executor after its
+      ``apply_weight_faults`` synced the buffers back into the network.
+
+    Unlike the scalar executor, the batched one never mutates the network
+    it wraps, so no ``restore_clean_weights`` step is needed between
+    trials.
+
+    Parameters
+    ----------
+    network:
+        The trained policy network (read-only from this executor's side).
+    qformat:
+        Fixed-point format of every buffer.
+    n_replicas:
+        Number of replicas B evaluated together.
+    input_hooks / activation_hooks:
+        As for :class:`QuantizedExecutor`, but each hook receives the
+        *stacked* ``(B, ...)`` buffer.
+    """
+
+    def __init__(
+        self,
+        network: Sequential,
+        qformat: QFormat,
+        n_replicas: int,
+        input_hooks: Optional[List[BufferHook]] = None,
+        activation_hooks: Optional[List[BufferHook]] = None,
+    ) -> None:
+        if n_replicas <= 0:
+            raise ValueError(f"n_replicas must be positive, got {n_replicas}")
+        self.network = network
+        self.qformat = qformat
+        self.n_replicas = n_replicas
+        self.input_hooks: List[BufferHook] = list(input_hooks or [])
+        self.activation_hooks: List[BufferHook] = list(activation_hooks or [])
+        #: Unit-shaped clean quantized buffers, used as sampling templates.
+        self.unit_buffers: Dict[str, QTensor] = {}
+        #: Stacked (B, *shape) quantized weight buffers, one per parameter.
+        self.weight_buffers: Dict[str, QTensor] = {}
+        for name, param in network.named_params().items():
+            buffer_name = weight_buffer_name(name)
+            unit = QTensor(param, qformat, name=buffer_name)
+            self.unit_buffers[buffer_name] = unit
+            self.weight_buffers[buffer_name] = unit.replicate(n_replicas)
+        self._param_stacks: Optional[Dict[str, Dict[str, np.ndarray]]] = None
+
+    @property
+    def faulted(self) -> bool:
+        """Whether the stacked weight buffers have been made the active weights."""
+        return self._param_stacks is not None
+
+    # ------------------------------------------------------------------ #
+    # Weight-side fault plumbing
+    # ------------------------------------------------------------------ #
+    def apply_weight_faults(self, mutator: Callable[[str, QTensor], None]) -> None:
+        """Apply a mutator to every stacked weight buffer, then activate them.
+
+        ``mutator(param_name, stacked_tensor)`` receives the *network*
+        parameter name (e.g. ``"fc2.weight"``) and the ``(B, *shape)``
+        stacked buffer to corrupt in place — typically through
+        :func:`~repro.core.sites.apply_patterns_stacked`.  Buffers are
+        visited in the same order the scalar executor visits them.  After
+        the sweep, the decoded stacks become the active weights for
+        :meth:`forward` (the stacked analogue of the scalar executor's
+        sync back into the network).
+        """
+        for buffer_name, stacked in self.weight_buffers.items():
+            mutator(buffer_name.split(":", 1)[1], stacked)
+        stacks: Dict[str, Dict[str, np.ndarray]] = {}
+        for buffer_name, stacked in self.weight_buffers.items():
+            param_name = buffer_name.split(":", 1)[1]
+            layer_name, local_name = param_name.split(".", 1)
+            stacks.setdefault(layer_name, {})[local_name] = stacked.values
+        self._param_stacks = stacks
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def _stacks_for(
+        self, replicas: Optional[np.ndarray]
+    ) -> Optional[Dict[str, Dict[str, np.ndarray]]]:
+        if self._param_stacks is None:
+            return None
+        if replicas is None or (
+            # Full-batch identity (the common case while every replica's
+            # episode is still running): skip the fancy-index copy of every
+            # weight stack on the hot path.
+            replicas.size == self.n_replicas
+            and np.array_equal(replicas, np.arange(self.n_replicas))
+        ):
+            return self._param_stacks
+        return {
+            layer_name: {local: stack[replicas] for local, stack in locals_.items()}
+            for layer_name, locals_ in self._param_stacks.items()
+        }
+
+    def forward(
+        self, x: np.ndarray, replicas: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Quantized forward pass of the selected replicas.
+
+        ``x`` has shape ``(k, *scalar_input_shape)`` where
+        ``scalar_input_shape`` is what the scalar executor's ``forward``
+        receives (including its own leading batch axis).  ``replicas``
+        selects which replica's weights evaluate each row of ``x``
+        (default: row ``i`` uses replica ``i``; required when ``k`` differs
+        from ``n_replicas``, e.g. when some replicas have already finished
+        their episodes).
+        """
+        x = np.asarray(x, dtype=np.float64)
+        if replicas is not None:
+            replicas = np.asarray(replicas, dtype=np.int64)
+            if replicas.shape != (x.shape[0],):
+                raise ValueError(
+                    f"replicas must have shape ({x.shape[0]},), got {replicas.shape}"
+                )
+        elif x.shape[0] != self.n_replicas:
+            raise ValueError(
+                f"got {x.shape[0]} input rows for {self.n_replicas} replicas; "
+                "pass replica indices to evaluate a subset"
+            )
+        input_tensor = QTensor(x, self.qformat, name=INPUT_BUFFER)
+        for hook in self.input_hooks:
+            hook(input_tensor, None)
+        param_stacks = self._stacks_for(replicas)
+
+        def quantize(index: int, layer, out: np.ndarray) -> np.ndarray:
+            activation = QTensor(
+                out, self.qformat, name=activation_buffer_name(layer.name)
+            )
+            for hook in self.activation_hooks:
+                hook(activation, layer)
+            return activation.values
+
+        return self.network.forward_replicas(
+            input_tensor.values, param_stacks, hooks=[quantize]
+        )
+
+    def __call__(self, x: np.ndarray, replicas: Optional[np.ndarray] = None) -> np.ndarray:
+        return self.forward(x, replicas=replicas)

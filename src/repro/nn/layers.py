@@ -9,6 +9,19 @@ Tensor layout conventions
 * Dense inputs: ``(batch, features)``.
 * Convolutional inputs: ``(batch, channels, height, width)``.
 * Conv kernels: ``(out_channels, in_channels, kernel_h, kernel_w)``.
+
+Replica-batched execution
+-------------------------
+Every layer additionally implements :meth:`Layer.forward_replicas`, which
+prepends a *batch-of-replicas* axis to the scalar layout: the input is
+``(replicas, *scalar_input_shape)`` and, optionally, a stack of per-replica
+parameters ``(replicas, *param_shape)`` replaces the layer's own weights.
+This is how the batched fault-injection engine evaluates B differently
+corrupted copies of one network in a single numpy call per layer.  The
+replica paths are written so that every replica's slice goes through
+floating-point operations of exactly the same shape and order as the scalar
+``forward`` — the results are bit-identical, which the differential test
+suite (``tests/test_batched_parity.py``) enforces.
 """
 
 from __future__ import annotations
@@ -35,6 +48,22 @@ class Layer:
     # -- interface ------------------------------------------------------ #
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
         raise NotImplementedError
+
+    def forward_replicas(
+        self, x: np.ndarray, params: Optional[Dict[str, np.ndarray]] = None
+    ) -> np.ndarray:
+        """Inference forward over a leading batch-of-replicas axis.
+
+        ``x`` has shape ``(replicas, *scalar_input_shape)``.  ``params``
+        optionally supplies per-replica parameter stacks (each value shaped
+        ``(replicas, *param_shape)``, keyed like :meth:`params`); without it
+        the layer's own parameters are broadcast across all replicas.  Each
+        replica's slice of the result is bit-identical to running
+        :meth:`forward` on that slice alone.
+        """
+        raise NotImplementedError(
+            f"{self.__class__.__name__} does not support replica-batched execution"
+        )
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         raise NotImplementedError
@@ -95,6 +124,20 @@ class Dense(Layer):
         if training:
             self._last_input = x
         return x @ self.weight + self.bias
+
+    def forward_replicas(
+        self, x: np.ndarray, params: Optional[Dict[str, np.ndarray]] = None
+    ) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if params is None:
+            # Shared weights: one broadcast matmul, same (batch, in) @ (in, out)
+            # GEMM per replica slice as the scalar path.
+            return np.matmul(x, self.weight) + self.bias
+        weight, bias = params["weight"], params["bias"]
+        # Per-replica weights: np.matmul maps each (batch, in) slice against
+        # its own (in, out) stack entry — the identical GEMM the scalar path
+        # issues, just looped in C instead of Python.
+        return np.matmul(x, weight) + bias[:, None, :]
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         if self._last_input is None:
@@ -200,6 +243,28 @@ class Conv2D(Layer):
             self._cache = (cols, x.shape, out_h, out_w)
         return out
 
+    def forward_replicas(
+        self, x: np.ndarray, params: Optional[Dict[str, np.ndarray]] = None
+    ) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        replicas, batch = x.shape[0], x.shape[1]
+        folded = x.reshape(replicas * batch, *x.shape[2:])
+        cols, out_h, out_w = _im2col(
+            folded, self.kernel_size, self.kernel_size, self.stride, self.padding
+        )
+        cols = cols.reshape(replicas, batch, out_h, out_w, -1)
+        if params is None:
+            w_flat_t = self.weight.reshape(self.out_channels, -1).T
+            out = np.matmul(cols, w_flat_t) + self.bias
+        else:
+            # (replicas, 1, 1, k, out_channels) so matmul broadcasts each
+            # replica's (out_w, k) @ (k, out_channels) slice — the same GEMM
+            # shape the scalar path's ``cols @ w_flat.T`` produces.
+            w_flat_t = params["weight"].reshape(replicas, self.out_channels, -1)
+            w_flat_t = w_flat_t.transpose(0, 2, 1)[:, None, None, :, :]
+            out = np.matmul(cols, w_flat_t) + params["bias"][:, None, None, None, :]
+        return out.transpose(0, 1, 4, 2, 3)
+
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         if self._cache is None:
             raise RuntimeError("backward called before a training forward pass")
@@ -287,6 +352,15 @@ class MaxPool2D(Layer):
             self._cache = (x, out.shape)
         return out
 
+    def forward_replicas(
+        self, x: np.ndarray, params: Optional[Dict[str, np.ndarray]] = None
+    ) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        replicas, batch = x.shape[0], x.shape[1]
+        folded = x.reshape(replicas * batch, *x.shape[2:])
+        out = self.forward(folded, training=False)
+        return out.reshape(replicas, batch, *out.shape[1:])
+
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         if self._cache is None:
             raise RuntimeError("backward called before a training forward pass")
@@ -333,6 +407,11 @@ class ReLU(Layer):
             self._mask = x > 0
         return np.maximum(x, 0.0)
 
+    def forward_replicas(
+        self, x: np.ndarray, params: Optional[Dict[str, np.ndarray]] = None
+    ) -> np.ndarray:
+        return np.maximum(np.asarray(x, dtype=np.float64), 0.0)
+
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         if self._mask is None:
             raise RuntimeError("backward called before a training forward pass")
@@ -356,6 +435,12 @@ class Flatten(Layer):
         if training:
             self._input_shape = x.shape
         return x.reshape(x.shape[0], -1)
+
+    def forward_replicas(
+        self, x: np.ndarray, params: Optional[Dict[str, np.ndarray]] = None
+    ) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        return x.reshape(x.shape[0], x.shape[1], -1)
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         if self._input_shape is None:

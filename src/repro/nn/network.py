@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import copy
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -21,6 +22,12 @@ class Sequential:
     *forward hooks* so that the fault-injection framework can intercept and
     corrupt intermediate activations exactly where the accelerator's output
     buffer would hold them.
+
+    Layer names must be unique within a network (they address parameters and
+    accelerator buffers).  A layer whose name collides with an earlier one is
+    replaced by a renamed *shallow copy* — the copy shares the original's
+    parameter arrays, but the caller's layer object is never mutated, so the
+    same layer instances can safely be reused across networks.
     """
 
     def __init__(self, layers: Sequence[Layer], name: str = "network") -> None:
@@ -29,7 +36,9 @@ class Sequential:
         seen = set()
         for index, layer in enumerate(self.layers):
             if layer.name in seen:
-                layer.name = f"{layer.name}_{index}"
+                renamed = copy.copy(layer)
+                renamed.name = f"{layer.name}_{index}"
+                self.layers[index] = layer = renamed
             seen.add(layer.name)
 
     # ------------------------------------------------------------------ #
@@ -52,6 +61,37 @@ class Sequential:
 
     def __call__(self, x: np.ndarray, **kwargs) -> np.ndarray:
         return self.forward(x, **kwargs)
+
+    def forward_replicas(
+        self,
+        x: np.ndarray,
+        param_stacks: Optional[Dict[str, Dict[str, np.ndarray]]] = None,
+        hooks: Optional[Iterable[ForwardHook]] = None,
+    ) -> np.ndarray:
+        """Inference forward of B network replicas in one vectorized pass.
+
+        ``x`` is the scalar input with a leading batch-of-replicas axis:
+        ``(replicas, *scalar_input_shape)``.  ``param_stacks`` optionally
+        maps layer names to per-replica parameter stacks (each array shaped
+        ``(replicas, *param_shape)``) — this is how the fault-injection
+        engine runs B differently corrupted copies of the same network
+        simultaneously; layers without an entry use their own parameters
+        broadcast across replicas.  Hooks see (and may replace) each layer's
+        stacked output, mirroring :meth:`forward`.
+
+        Every replica's slice of the result is bit-identical to calling
+        :meth:`forward` on that replica alone (with that replica's weights
+        loaded), which is what makes batched fault campaigns reproduce
+        serial campaigns exactly.
+        """
+        hooks = list(hooks) if hooks else []
+        out = np.asarray(x, dtype=np.float64)
+        for index, layer in enumerate(self.layers):
+            params = param_stacks.get(layer.name) if param_stacks else None
+            out = layer.forward_replicas(out, params=params)
+            for hook in hooks:
+                out = hook(index, layer, out)
+        return out
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         """Backpropagate through all layers (after a training forward pass)."""

@@ -64,6 +64,19 @@ class QTensor:
         """Deep copy of the tensor (raw words copied)."""
         return QTensor.from_raw(self._raw.copy(), self.qformat, name=self.name)
 
+    def replicate(self, n_replicas: int) -> "QTensor":
+        """Stack ``n_replicas`` copies along a new leading replica axis.
+
+        The raw words are tiled, so every replica slice is bit-identical to
+        this tensor — the starting point for batched fault injection, where
+        each replica's bits are then corrupted independently (see
+        :func:`repro.core.sites.apply_patterns_stacked`).
+        """
+        if n_replicas <= 0:
+            raise ValueError(f"n_replicas must be positive, got {n_replicas}")
+        raw = np.broadcast_to(self._raw, (n_replicas,) + self._shape).copy()
+        return QTensor.from_raw(raw, self.qformat, name=self.name)
+
     # ------------------------------------------------------------------ #
     # Views
     # ------------------------------------------------------------------ #

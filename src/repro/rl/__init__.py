@@ -19,7 +19,12 @@ from repro.rl.replay import ReplayBuffer
 from repro.rl.tabular import TabularQAgent
 from repro.rl.dqn import DQNAgent, DoubleDQNAgent
 from repro.rl.trainer import TrainingHooks, TrainingResult, train_agent
-from repro.rl.evaluation import evaluate_success_rate, greedy_rollout
+from repro.rl.evaluation import (
+    as_batched_policy,
+    evaluate_success_rate,
+    greedy_rollout,
+    greedy_rollouts,
+)
 
 __all__ = [
     "Agent",
@@ -35,4 +40,6 @@ __all__ = [
     "train_agent",
     "evaluate_success_rate",
     "greedy_rollout",
+    "greedy_rollouts",
+    "as_batched_policy",
 ]

@@ -10,14 +10,25 @@ than single-prediction accuracy.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable, List, Optional, Sequence, Union
 
 import numpy as np
 
-__all__ = ["RolloutResult", "greedy_rollout", "evaluate_success_rate", "evaluate_mean_metric"]
+__all__ = [
+    "RolloutResult",
+    "greedy_rollout",
+    "greedy_rollouts",
+    "as_batched_policy",
+    "evaluate_success_rate",
+    "evaluate_mean_metric",
+]
 
 #: A policy is any callable mapping a state to a discrete action.
 Policy = Callable[[object], int]
+
+#: A batched policy maps ``(step, replica_indices, states)`` — the states of
+#: the replicas still running at this step — to one action per entry.
+BatchedPolicy = Callable[[int, np.ndarray, List[object]], Sequence[int]]
 
 
 @dataclass(frozen=True)
@@ -59,6 +70,80 @@ def greedy_rollout(
             success = bool(info.get("success", False))
             break
     return RolloutResult(total_reward=total_reward, steps=steps, success=success, info=last_info)
+
+
+def greedy_rollouts(
+    policy: BatchedPolicy,
+    env,
+    max_steps: int = 200,
+    step_hook: Optional[Callable[[int, np.ndarray, List[object], Sequence[int]], None]] = None,
+) -> List[RolloutResult]:
+    """Run one greedy episode in every replica of a batched environment.
+
+    The batched counterpart of :func:`greedy_rollout`: ``env`` is a
+    :class:`~repro.envs.batched.BatchedEnv` whose replicas run independent
+    episodes in lockstep, and ``policy`` selects one action per *active*
+    replica each step (replicas whose episode has ended are dropped from the
+    batch).  ``step_hook(step, replica_indices, states, actions)`` — if
+    given — is called before the actions are applied, mirroring the scalar
+    rollout's hook point.
+
+    Each replica's :class:`RolloutResult` is identical to running
+    :func:`greedy_rollout` against a scalar environment with that replica's
+    policy, which is what lets batched campaigns replace serial ones
+    without changing any reported number.
+    """
+    n_replicas = env.n_replicas
+    states: List[object] = list(env.reset_all())
+    totals = [0.0] * n_replicas
+    steps = [0] * n_replicas
+    successes = [False] * n_replicas
+    infos: List[dict] = [{} for _ in range(n_replicas)]
+    active = list(range(n_replicas))
+    for step in range(max_steps):
+        if not active:
+            break
+        indices = np.asarray(active, dtype=np.int64)
+        batch_states = [states[i] for i in active]
+        actions = policy(step, indices, batch_states)
+        if step_hook is not None:
+            step_hook(step, indices, batch_states, actions)
+        next_states, rewards, dones, step_infos = env.step_many(actions, indices)
+        still_active: List[int] = []
+        for j, replica in enumerate(active):
+            states[replica] = next_states[j]
+            totals[replica] += float(rewards[j])
+            infos[replica] = step_infos[j]
+            steps[replica] = step + 1
+            if dones[j]:
+                successes[replica] = bool(step_infos[j].get("success", False))
+            else:
+                still_active.append(replica)
+        active = still_active
+    return [
+        RolloutResult(
+            total_reward=totals[r], steps=steps[r], success=successes[r], info=infos[r]
+        )
+        for r in range(n_replicas)
+    ]
+
+
+def as_batched_policy(policies: Union[Policy, Sequence[Policy]]) -> BatchedPolicy:
+    """Adapt scalar per-replica policies to the :data:`BatchedPolicy` protocol.
+
+    ``policies`` is either one scalar policy (shared by every replica) or a
+    sequence with one policy per replica.  Policies are queried in replica
+    order, so stateful policies (e.g. ones drawing from a per-replica RNG)
+    consume their state exactly as they would under scalar rollouts.
+    """
+    shared = callable(policies)
+
+    def batched(step: int, indices: np.ndarray, states: List[object]) -> List[int]:
+        if shared:
+            return [int(policies(state)) for state in states]
+        return [int(policies[i](state)) for i, state in zip(indices, states)]
+
+    return batched
 
 
 def evaluate_success_rate(

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core import (
+    BatchedRunner,
     Campaign,
     CampaignResult,
     ParallelRunner,
@@ -11,8 +12,14 @@ from repro.core import (
     TrialExecutionError,
     TrialOutcome,
     make_runner,
+    supports_batching,
 )
-from repro.core.runner import default_workers, parse_worker_count
+from repro.core.runner import (
+    default_batch_size,
+    default_workers,
+    parse_batch_size,
+    parse_worker_count,
+)
 from repro.experiments.common import campaign_checkpoint_path, run_campaign
 from repro.io.results import CampaignCheckpoint
 
@@ -59,6 +66,118 @@ class TestParallelDeterminism:
         )
         assert result.repetitions == 6
         assert all(o.metric >= offset for o in result.outcomes)
+
+
+class BatchableTrial:
+    """A trial with a vectorized path, instrumented to prove it was used."""
+
+    def __init__(self):
+        self.batch_sizes = []
+        self.scalar_calls = 0
+
+    def __call__(self, rng):
+        self.scalar_calls += 1
+        return stochastic_trial(rng)
+
+    def run_batch(self, rngs):
+        self.batch_sizes.append(len(rngs))
+        return [stochastic_trial(rng) for rng in rngs]
+
+
+class TestBatchedDeterminism:
+    """Seeded-RNG regression: BatchedRunner pins to SerialRunner goldens."""
+
+    @pytest.mark.parametrize("batch_size", [1, 3, 8])
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_batched_matches_serial_goldens(self, batch_size, workers):
+        campaign = Campaign("batch-parity", repetitions=19, seed=321)
+        serial = campaign.run(stochastic_trial, runner=SerialRunner())
+        batched = campaign.run(
+            stochastic_trial,
+            runner=BatchedRunner(batch_size=batch_size, workers=workers),
+        )
+        assert outcome_tuples(batched) == outcome_tuples(serial)
+        assert batched.summary() == serial.summary()
+
+    @pytest.mark.parametrize("batch_size", [1, 3, 8])
+    def test_batchable_trial_matches_serial_goldens(self, batch_size):
+        campaign = Campaign("batch-vec", repetitions=10, seed=55)
+        serial = campaign.run(BatchableTrial(), runner=SerialRunner())
+        trial = BatchableTrial()
+        batched = campaign.run(trial, runner=BatchedRunner(batch_size=batch_size))
+        assert outcome_tuples(batched) == outcome_tuples(serial)
+        # The vectorized path really ran: full batches plus a ragged tail.
+        assert trial.scalar_calls == 0
+        assert sum(trial.batch_sizes) == 10
+        assert max(trial.batch_sizes) <= batch_size
+
+    def test_ragged_final_batch_sizes(self):
+        trial = BatchableTrial()
+        Campaign("ragged", repetitions=10, seed=1).run(
+            trial, runner=BatchedRunner(batch_size=4)
+        )
+        assert trial.batch_sizes == [4, 4, 2]
+
+    def test_checkpoint_resume_under_batched_runner(self, tmp_path):
+        path = tmp_path / "batched.jsonl"
+        campaign = Campaign("batch-resume", repetitions=11, seed=13)
+        first = campaign.run(stochastic_trial, checkpoint=path)
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:6]) + "\n")  # keep 5 of 11 outcomes
+        resumed = campaign.run(
+            BatchableTrial(),
+            runner=BatchedRunner(batch_size=3, workers=2),
+            checkpoint=path,
+            resume=True,
+        )
+        assert outcome_tuples(resumed) == outcome_tuples(first)
+
+    def test_run_batch_wrong_length_rejected(self):
+        class Broken(BatchableTrial):
+            def run_batch(self, rngs):
+                return super().run_batch(rngs)[:-1]
+
+        with pytest.raises((ValueError, TrialExecutionError)):
+            Campaign("short", repetitions=4, seed=0).run(
+                Broken(), runner=BatchedRunner(batch_size=4)
+            )
+
+    def test_scalar_fallback_errors_name_the_exact_trial(self):
+        # A non-batchable trial failing inside a remote batch must report the
+        # failing trial's index, not the batch's first index.  The victim is
+        # identified by its (deterministic) first RNG draw and deliberately
+        # chosen not to be the first trial of its batch.
+        campaign = Campaign("exact-index", repetitions=8, seed=0)
+        draws = [np.random.default_rng(seed).random() for seed in campaign.trial_seeds()]
+        victim = 6
+        assert victim % 4 != 0  # not a batch head under batch_size=4
+
+        def explodes_on_victim(rng):
+            value = rng.random()
+            if value == draws[victim]:
+                raise ValueError("victim trial failed")
+            return TrialOutcome(metric=value)
+
+        with pytest.raises(TrialExecutionError, match="victim trial failed") as excinfo:
+            campaign.run(
+                explodes_on_victim, runner=BatchedRunner(batch_size=4, workers=2)
+            )
+        assert excinfo.value.trial_index == victim
+
+    def test_batch_errors_surface_from_workers(self):
+        class Exploding(BatchableTrial):
+            def run_batch(self, rngs):
+                raise RuntimeError("vectorized failure")
+
+        with pytest.raises(TrialExecutionError, match="vectorized failure") as excinfo:
+            Campaign("boom", repetitions=6, seed=0).run(
+                Exploding(), runner=BatchedRunner(batch_size=3, workers=2)
+            )
+        assert "RuntimeError" in excinfo.value.worker_traceback
+
+    def test_supports_batching_detection(self):
+        assert supports_batching(BatchableTrial())
+        assert not supports_batching(stochastic_trial)
 
 
 class TestCrashSurfacing:
@@ -240,6 +359,52 @@ class TestRunnerResolution:
             ParallelRunner(workers=-1)
         with pytest.raises(ValueError):
             ParallelRunner(chunk_size=0)
+
+    def test_make_runner_batch_size(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CAMPAIGN_BATCH", raising=False)
+        assert isinstance(make_runner(1, 1), SerialRunner)
+        runner = make_runner(1, 8)
+        assert isinstance(runner, BatchedRunner) and runner.batch_size == 8
+        combined = make_runner(4, 8)
+        assert isinstance(combined, BatchedRunner)
+        assert combined.batch_size == 8 and combined.workers == 4
+        with pytest.raises(ValueError):
+            make_runner(1, 0)
+
+    def test_batch_env_var(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CAMPAIGN_BATCH", "6")
+        assert default_batch_size() == 6
+        runner = make_runner()
+        assert isinstance(runner, BatchedRunner) and runner.batch_size == 6
+        monkeypatch.setenv("REPRO_CAMPAIGN_BATCH", "bogus")
+        with pytest.raises(ValueError):
+            default_batch_size()
+        monkeypatch.setenv("REPRO_CAMPAIGN_BATCH", "0")
+        with pytest.raises(ValueError):
+            default_batch_size()
+        monkeypatch.delenv("REPRO_CAMPAIGN_BATCH")
+        assert default_batch_size() == 1
+
+    def test_parse_batch_size(self):
+        assert parse_batch_size(4) == 4
+        assert parse_batch_size("12") == 12
+        for bad in ("x", "0", 0, -3):
+            with pytest.raises(ValueError):
+                parse_batch_size(bad)
+
+    def test_invalid_batched_runner_rejected(self):
+        with pytest.raises(ValueError):
+            BatchedRunner(batch_size=0)
+        with pytest.raises(ValueError):
+            BatchedRunner(batch_size=2, workers=0)
+
+    def test_batch_env_var_drives_campaign_run(self, monkeypatch):
+        campaign = Campaign("envbatch", repetitions=9, seed=17)
+        monkeypatch.delenv("REPRO_CAMPAIGN_BATCH", raising=False)
+        serial = campaign.run(stochastic_trial)
+        monkeypatch.setenv("REPRO_CAMPAIGN_BATCH", "4")
+        batched = campaign.run(stochastic_trial)
+        assert outcome_tuples(batched) == outcome_tuples(serial)
 
     def test_env_var_drives_campaign_run(self, monkeypatch):
         campaign = Campaign("envpar", repetitions=8, seed=6)

@@ -16,6 +16,7 @@ from repro.core import (
     TransientBitFlip,
     TransientTrainingFaultHook,
     TrialOutcome,
+    apply_patterns_stacked,
     make_fault_model,
 )
 from repro.core.campaign import default_repetitions
@@ -311,6 +312,127 @@ class TestActivationPatternResampling:
         executor.forward(np.eye(10)[:4])
         assert injector.resample_count == 0
         assert all(injector._patterns[k] is v for k, v in first_patterns.items())
+
+
+def _all_sites_pattern(tensor: QTensor, stuck_value=None) -> FaultPattern:
+    """A pattern addressing every (element, bit) site of a unit buffer."""
+    total_bits = tensor.qformat.total_bits
+    elements = np.repeat(np.arange(tensor.size, dtype=np.int64), total_bits)
+    bits = np.tile(np.arange(total_bits, dtype=np.int64), tensor.size)
+    return FaultPattern(tensor.name, elements, bits, stuck_value=stuck_value)
+
+
+class TestPatternEdgeCases:
+    """Empty patterns, all-sites-faulty patterns, stacked-buffer persistence."""
+
+    def test_empty_pattern_apply_is_noop(self, wide_qtensor):
+        empty = FaultPattern("weights", np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+        before = wide_qtensor.raw
+        empty.apply(wide_qtensor)
+        assert empty.num_faults == 0
+        assert np.array_equal(wide_qtensor.raw, before)
+
+    def test_stacked_apply_with_empty_and_none_entries(self, wide_qtensor):
+        stacked = wide_qtensor.replicate(3)
+        before = stacked.raw
+        empty = FaultPattern("weights", np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+        apply_patterns_stacked([None, empty, None], stacked)
+        assert np.array_equal(stacked.raw, before)
+
+    def test_ber_one_samples_every_site(self, wide_qtensor, rng):
+        elements, bits = wide_qtensor.sample_fault_sites(1.0, rng)
+        population = wide_qtensor.size * wide_qtensor.qformat.total_bits
+        assert elements.size == population
+        sites = set(zip(elements.tolist(), bits.tolist()))
+        assert len(sites) == population  # without replacement: every site once
+
+    def test_all_sites_stuck_at_saturates_buffer(self, wide_qtensor):
+        word_mask = wide_qtensor.qformat.word_mask
+        stuck1 = _all_sites_pattern(wide_qtensor, stuck_value=1)
+        stuck1.apply(wide_qtensor)
+        assert np.all(wide_qtensor.raw == word_mask)
+        stuck0 = _all_sites_pattern(wide_qtensor, stuck_value=0)
+        stuck0.apply(wide_qtensor)
+        assert np.all(wide_qtensor.raw == 0)
+
+    def test_all_sites_transient_is_involution(self, wide_qtensor):
+        original = wide_qtensor.raw
+        flip_all = _all_sites_pattern(wide_qtensor)
+        flip_all.apply(wide_qtensor)
+        assert np.array_equal(wide_qtensor.raw, original ^ wide_qtensor.qformat.word_mask)
+        flip_all.apply(wide_qtensor)
+        assert np.array_equal(wide_qtensor.raw, original)
+
+    def test_all_sites_faulty_on_stacked_buffer(self, wide_qtensor):
+        stacked = wide_qtensor.replicate(3)
+        word_mask = wide_qtensor.qformat.word_mask
+        patterns = [
+            _all_sites_pattern(wide_qtensor, stuck_value=1),
+            None,
+            _all_sites_pattern(wide_qtensor, stuck_value=1),
+        ]
+        apply_patterns_stacked(patterns, stacked)
+        raw = stacked.raw
+        assert np.all(raw[0] == word_mask)
+        assert np.array_equal(raw[1], wide_qtensor.raw)  # untouched replica
+        assert np.all(raw[2] == word_mask)
+
+    def test_stuck_at_reapply_after_rewrite_on_stacked_buffer(self, wide_qtensor, rng):
+        # Permanent faults must keep forcing their bits after the stacked
+        # memory is rewritten (training updates, buffer refreshes, ...).
+        stacked = wide_qtensor.replicate(4)
+        model = StuckAtFault(0.25, stuck_value=1)
+        patterns = [
+            model.sample_pattern(wide_qtensor, np.random.default_rng(seed))
+            for seed in range(4)
+        ]
+        apply_patterns_stacked(patterns, stacked)
+
+        rewrite = np.zeros(stacked.shape)  # all-zero rewrite clears every bit...
+        stacked.values = rewrite
+        apply_patterns_stacked(patterns, stacked)  # ...the defect re-asserts
+        flat = stacked.raw.reshape(4, -1)
+        for replica, pattern in enumerate(patterns):
+            observed = (flat[replica, pattern.element_indices] >> pattern.bit_positions) & 1
+            assert np.all(observed == 1)
+        # Sites outside the patterns stay at the rewritten (zero) value.
+        untouched = flat.copy()
+        for replica, pattern in enumerate(patterns):
+            np.bitwise_and.at(
+                untouched[replica],
+                pattern.element_indices,
+                ~(np.int64(1) << pattern.bit_positions),
+            )
+        assert np.all(untouched == 0)
+
+    def test_stacked_apply_validates_replica_count(self, wide_qtensor):
+        stacked = wide_qtensor.replicate(2)
+        with pytest.raises(ValueError, match="patterns"):
+            apply_patterns_stacked([None], stacked)
+
+    def test_stacked_apply_validates_element_range(self, wide_qtensor):
+        stacked = wide_qtensor.replicate(2)
+        bad = FaultPattern(
+            "weights", np.array([wide_qtensor.size]), np.array([0]), stuck_value=1
+        )
+        with pytest.raises(ValueError, match="only"):
+            apply_patterns_stacked([bad, None], stacked)
+
+    def test_mixed_fault_kinds_apply_per_replica(self, wide_qtensor):
+        # One stacked call may carry transient and both stuck-at kinds; each
+        # replica must receive exactly its own pattern's semantics.
+        stacked = wide_qtensor.replicate(3)
+        patterns = [
+            _all_sites_pattern(wide_qtensor),
+            _all_sites_pattern(wide_qtensor, stuck_value=0),
+            _all_sites_pattern(wide_qtensor, stuck_value=1),
+        ]
+        apply_patterns_stacked(patterns, stacked)
+        raw = stacked.raw
+        word_mask = wide_qtensor.qformat.word_mask
+        assert np.array_equal(raw[0], wide_qtensor.raw ^ word_mask)
+        assert np.all(raw[1] == 0)
+        assert np.all(raw[2] == word_mask)
 
 
 class TestCampaign:

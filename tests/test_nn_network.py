@@ -50,6 +50,40 @@ class TestSequential:
         names = [layer.name for layer in net.layers]
         assert len(set(names)) == 2
 
+    def test_dedup_does_not_mutate_caller_layers(self, rng):
+        # Regression: renaming duplicates used to overwrite Layer.name on the
+        # objects the caller passed in, corrupting layers shared with other
+        # networks (and making Sequential construction non-idempotent).
+        first = Dense(2, 2, name="fc", rng=rng)
+        second = Dense(2, 2, name="fc", rng=rng)
+        net = Sequential([first, second])
+        assert first.name == "fc" and second.name == "fc"
+        assert [layer.name for layer in net.layers] == ["fc", "fc_1"]
+        # Rebuilding from the same (untouched) layers gives the same names.
+        again = Sequential([first, second])
+        assert [layer.name for layer in again.layers] == ["fc", "fc_1"]
+
+    def test_dedup_copy_shares_parameter_arrays(self, rng):
+        caller_layer = Dense(2, 2, name="fc", rng=rng)
+        net = Sequential([Dense(2, 2, name="fc", rng=rng), caller_layer])
+        renamed = net.layers[1]
+        assert renamed is not caller_layer and renamed.name == "fc_1"
+        # The renamed stand-in shares its parameters with the caller's layer,
+        # so in-place updates (optimizers, fault sync) stay visible both ways.
+        net.named_params()["fc_1.weight"][0, 0] = 42.0
+        assert caller_layer.weight[0, 0] == 42.0
+
+    def test_same_layer_instance_twice_gets_unique_names(self, rng):
+        layer = Dense(3, 3, name="fc", rng=rng)
+        net = Sequential([layer, layer])
+        assert [l.name for l in net.layers] == ["fc", "fc_1"]
+        assert layer.name == "fc"
+        # Weight sharing is preserved through the shallow copy.
+        assert net.layers[1].weight is layer.weight
+        assert set(net.named_params()) == {
+            "fc.weight", "fc.bias", "fc_1.weight", "fc_1.bias",
+        }
+
     def test_layer_lookup(self, rng):
         net = make_mlp(rng)
         assert net.layer_by_name("fc2").name == "fc2"
