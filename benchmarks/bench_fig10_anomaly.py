@@ -3,6 +3,7 @@
 import pytest
 
 from benchmarks.conftest import report
+from repro.api import ExecutionConfig
 from repro.experiments import fig10_anomaly
 from repro.experiments.common import build_drone_bundle
 
@@ -12,7 +13,7 @@ def test_fig10a_gridworld_mitigation(benchmark, nn_config):
     table = benchmark.pedantic(
         fig10_anomaly.run_gridworld_anomaly_mitigation,
         args=(nn_config, [0.0, 0.005, 0.01]),
-        kwargs={"repetitions": 3, "episodes_per_trial": 4},
+        kwargs={"execution": ExecutionConfig(repetitions=3), "episodes_per_trial": 4},
         rounds=1,
         iterations=1,
     )
@@ -25,7 +26,7 @@ def test_fig10b_drone_mitigation(benchmark, drone_config):
     table = benchmark.pedantic(
         fig10_anomaly.run_drone_anomaly_mitigation,
         args=(drone_config, [0.0, 1e-5, 1e-4, 1e-3]),
-        kwargs={"repetitions": 2},
+        kwargs={"execution": ExecutionConfig(repetitions=2)},
         rounds=1,
         iterations=1,
     )

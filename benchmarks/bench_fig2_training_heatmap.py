@@ -3,6 +3,7 @@
 import pytest
 
 from benchmarks.conftest import GRID_BERS, GRID_EPISODES, report
+from repro.api import ExecutionConfig
 from repro.experiments import fig2_training
 
 
@@ -11,7 +12,7 @@ def test_fig2a_tabular_transient_heatmap(benchmark, tabular_config):
     table = benchmark.pedantic(
         fig2_training.run_transient_training_heatmap,
         args=(tabular_config, GRID_BERS, GRID_EPISODES),
-        kwargs={"repetitions": 2},
+        kwargs={"execution": ExecutionConfig(repetitions=2)},
         rounds=1,
         iterations=1,
     )
@@ -25,7 +26,7 @@ def test_fig2a_tabular_permanent_sweep(benchmark, tabular_config):
     table = benchmark.pedantic(
         fig2_training.run_permanent_training_sweep,
         args=(tabular_config, [0.005, 0.01]),
-        kwargs={"repetitions": 2},
+        kwargs={"execution": ExecutionConfig(repetitions=2)},
         rounds=1,
         iterations=1,
     )
@@ -37,7 +38,7 @@ def test_fig2c_nn_transient_heatmap(benchmark, nn_config):
     table = benchmark.pedantic(
         fig2_training.run_transient_training_heatmap,
         args=(nn_config, [0.0, 0.01], [50, nn_config.episodes - 1]),
-        kwargs={"repetitions": 1},
+        kwargs={"execution": ExecutionConfig(repetitions=1)},
         rounds=1,
         iterations=1,
     )

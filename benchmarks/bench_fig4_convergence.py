@@ -3,6 +3,7 @@
 import pytest
 
 from benchmarks.conftest import report
+from repro.api import ExecutionConfig
 from repro.experiments import fig4_convergence
 
 
@@ -11,7 +12,7 @@ def test_fig4a_tabular_transient_convergence(benchmark, tabular_config):
     table = benchmark.pedantic(
         fig4_convergence.run_transient_convergence,
         args=(tabular_config, [0.0, 0.005, 0.01]),
-        kwargs={"extra_episodes": 400, "repetitions": 2},
+        kwargs={"extra_episodes": 400, "execution": ExecutionConfig(repetitions=2)},
         rounds=1,
         iterations=1,
     )
@@ -23,7 +24,7 @@ def test_fig4b_tabular_permanent_extra_training(benchmark, tabular_config):
     table = benchmark.pedantic(
         fig4_convergence.run_permanent_extra_training,
         args=(tabular_config, [0.005]),
-        kwargs={"extra_episode_grid": (500,), "repetitions": 2},
+        kwargs={"extra_episode_grid": (500,), "execution": ExecutionConfig(repetitions=2)},
         rounds=1,
         iterations=1,
     )

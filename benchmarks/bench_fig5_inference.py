@@ -3,6 +3,7 @@
 import pytest
 
 from benchmarks.conftest import report
+from repro.api import ExecutionConfig
 from repro.experiments import fig5_inference
 
 
@@ -11,7 +12,7 @@ def test_fig5a_tabular_inference_faults(benchmark, tabular_config):
     table = benchmark.pedantic(
         fig5_inference.run_inference_fault_sweep,
         args=(tabular_config, [0.002, 0.01]),
-        kwargs={"repetitions": 4, "episodes_per_trial": 4},
+        kwargs={"execution": ExecutionConfig(repetitions=4), "episodes_per_trial": 4},
         rounds=1,
         iterations=1,
     )
@@ -28,7 +29,7 @@ def test_fig5b_nn_inference_faults(benchmark, nn_config):
     table = benchmark.pedantic(
         fig5_inference.run_inference_fault_sweep,
         args=(nn_config, [0.002, 0.01]),
-        kwargs={"repetitions": 2, "episodes_per_trial": 3},
+        kwargs={"execution": ExecutionConfig(repetitions=2), "episodes_per_trial": 3},
         rounds=1,
         iterations=1,
     )

@@ -3,6 +3,7 @@
 import pytest
 
 from benchmarks.conftest import DRONE_BERS, report
+from repro.api import ExecutionConfig
 from repro.experiments import fig7_drone
 from repro.experiments.common import build_drone_bundle
 
@@ -18,7 +19,7 @@ def test_fig7a_online_training_faults(benchmark, drone_config):
     table = benchmark.pedantic(
         fig7_drone.run_drone_training_faults,
         args=(drone_config, [0.0, 1e-3, 1e-2]),
-        kwargs={"repetitions": 1},
+        kwargs={"execution": ExecutionConfig(repetitions=1)},
         rounds=1,
         iterations=1,
     )
@@ -30,7 +31,7 @@ def test_fig7b_environment_comparison(benchmark, drone_config):
     table = benchmark.pedantic(
         fig7_drone.run_environment_comparison,
         args=(drone_config, DRONE_BERS),
-        kwargs={"repetitions": 2},
+        kwargs={"execution": ExecutionConfig(repetitions=2)},
         rounds=1,
         iterations=1,
     )
@@ -48,7 +49,7 @@ def test_fig7c_fault_locations(benchmark, drone_config):
     table = benchmark.pedantic(
         fig7_drone.run_fault_location_sweep,
         args=(drone_config, [1e-4, 1e-3]),
-        kwargs={"repetitions": 2},
+        kwargs={"execution": ExecutionConfig(repetitions=2)},
         rounds=1,
         iterations=1,
     )
@@ -64,7 +65,7 @@ def test_fig7d_layer_sensitivity(benchmark, drone_config):
     table = benchmark.pedantic(
         fig7_drone.run_layer_sweep,
         args=(drone_config, [1e-3, 1e-2]),
-        kwargs={"repetitions": 2},
+        kwargs={"execution": ExecutionConfig(repetitions=2)},
         rounds=1,
         iterations=1,
     )
@@ -76,7 +77,7 @@ def test_fig7e_data_types(benchmark, drone_config):
     table = benchmark.pedantic(
         fig7_drone.run_datatype_sweep,
         args=(drone_config, [1e-4, 1e-3]),
-        kwargs={"repetitions": 2},
+        kwargs={"execution": ExecutionConfig(repetitions=2)},
         rounds=1,
         iterations=1,
     )

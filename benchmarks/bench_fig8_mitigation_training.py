@@ -3,6 +3,7 @@
 import pytest
 
 from benchmarks.conftest import report
+from repro.api import ExecutionConfig
 from repro.experiments import fig8_mitigation_training
 
 
@@ -11,7 +12,7 @@ def test_fig8a_tabular_mitigated_transient(benchmark, tabular_config):
     table = benchmark.pedantic(
         fig8_mitigation_training.run_mitigated_transient_heatmap,
         args=(tabular_config, [0.005, 0.01], [500, tabular_config.episodes - 1]),
-        kwargs={"mitigation": True, "repetitions": 2},
+        kwargs={"mitigation": True, "execution": ExecutionConfig(repetitions=2)},
         rounds=1,
         iterations=1,
     )
@@ -23,7 +24,7 @@ def test_fig8a_tabular_mitigated_permanent(benchmark, tabular_config):
     table = benchmark.pedantic(
         fig8_mitigation_training.run_mitigated_permanent_sweep,
         args=(tabular_config, [0.005]),
-        kwargs={"mitigation": True, "repetitions": 2},
+        kwargs={"mitigation": True, "execution": ExecutionConfig(repetitions=2)},
         rounds=1,
         iterations=1,
     )

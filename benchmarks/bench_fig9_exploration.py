@@ -3,6 +3,7 @@
 import pytest
 
 from benchmarks.conftest import report
+from repro.api import ExecutionConfig
 from repro.experiments import fig9_exploration
 
 
@@ -11,7 +12,7 @@ def test_fig9ab_exploration_adjustment(benchmark, tabular_config):
     table = benchmark.pedantic(
         fig9_exploration.run_exploration_adjustment_sweep,
         args=(tabular_config, [0.005, 0.01]),
-        kwargs={"fault_types": ("transient", "stuck-at-1"), "repetitions": 2},
+        kwargs={"fault_types": ("transient", "stuck-at-1"), "execution": ExecutionConfig(repetitions=2)},
         rounds=1,
         iterations=1,
     )
@@ -23,7 +24,7 @@ def test_fig9c_recovery_speed(benchmark, tabular_config):
     table = benchmark.pedantic(
         fig9_exploration.run_recovery_speed_correlation,
         args=(tabular_config,),
-        kwargs={"exploration_boosts": (0.25, 0.75), "repetitions": 2},
+        kwargs={"exploration_boosts": (0.25, 0.75), "execution": ExecutionConfig(repetitions=2)},
         rounds=1,
         iterations=1,
     )

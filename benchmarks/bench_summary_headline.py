@@ -3,6 +3,7 @@
 import pytest
 
 from benchmarks.conftest import report
+from repro.api import ExecutionConfig
 from repro.core.mitigation.anomaly import estimate_runtime_overhead
 from repro.experiments import fig10_anomaly, summary
 from repro.experiments.common import build_drone_bundle
@@ -15,7 +16,7 @@ def test_headline_drone_qof_improvement(benchmark, drone_config):
     table = benchmark.pedantic(
         fig10_anomaly.run_drone_anomaly_mitigation,
         args=(drone_config, [1e-4, 1e-3]),
-        kwargs={"repetitions": 2},
+        kwargs={"execution": ExecutionConfig(repetitions=2)},
         rounds=1,
         iterations=1,
     )

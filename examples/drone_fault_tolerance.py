@@ -7,6 +7,7 @@ the range-based anomaly detector.
 Run with:  python examples/drone_fault_tolerance.py
 """
 
+from repro.api import ExecutionConfig
 from repro.experiments.config import DroneConfig
 from repro.experiments.fig7_drone import run_datatype_sweep, run_environment_comparison
 from repro.experiments.fig10_anomaly import run_drone_anomaly_mitigation
@@ -25,14 +26,17 @@ def main() -> None:
     )
     bers = [0.0, 1e-5, 1e-4, 1e-3]
 
+    once = ExecutionConfig(repetitions=1)
     print("== Environment comparison under transient weight faults (Fig. 7b) ==")
-    print(render_table(run_environment_comparison(config, bers, repetitions=1)))
+    print(render_table(run_environment_comparison(config, bers, execution=once)))
 
     print("\n== Fixed-point data-type resilience (Fig. 7e) ==")
-    print(render_table(run_datatype_sweep(config, [1e-5, 1e-4], repetitions=1)))
+    print(render_table(run_datatype_sweep(config, [1e-5, 1e-4], execution=once)))
 
     print("\n== Range-based anomaly detection (Fig. 10b) ==")
-    table = run_drone_anomaly_mitigation(config, bers, repetitions=2)
+    table = run_drone_anomaly_mitigation(
+        config, bers, execution=ExecutionConfig(repetitions=2)
+    )
     print(render_table(table))
     print()
     print(render_table(summarize_mitigation_gains(table, "mean_safe_flight")))

@@ -6,6 +6,7 @@ of training, then studies inference-time fault modes on a clean policy.
 Run with:  python examples/gridworld_fault_study.py
 """
 
+from repro.api import ExecutionConfig
 from repro.experiments.config import GridTabularConfig
 from repro.experiments.fig2_training import (
     heatmap_matrix,
@@ -22,7 +23,9 @@ def main() -> None:
     episodes = [100, 500, 999]
 
     print("== Training-time transient faults (Fig. 2a, reduced sweep) ==")
-    table = run_transient_training_heatmap(config, bers, episodes, repetitions=2)
+    table = run_transient_training_heatmap(
+        config, bers, episodes, execution=ExecutionConfig(repetitions=2)
+    )
     matrix = heatmap_matrix(table, bers, episodes) * 100.0
     print(
         render_heatmap(
@@ -34,7 +37,12 @@ def main() -> None:
     )
 
     print("\n== Inference-time fault modes (Fig. 5a, reduced sweep) ==")
-    table = run_inference_fault_sweep(config, [0.002, 0.01], repetitions=3, episodes_per_trial=4)
+    table = run_inference_fault_sweep(
+        config,
+        [0.002, 0.01],
+        episodes_per_trial=4,
+        execution=ExecutionConfig(repetitions=3),
+    )
     print(render_table(table))
 
     print("\n== Value / bit histograms (Fig. 2b & 2d) ==")

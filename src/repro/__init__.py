@@ -10,7 +10,11 @@ The package is organised bottom-up:
 * :mod:`repro.policies` — the Grid World MLP and the C3F2 drone network.
 * :mod:`repro.core` — the fault-injection tool-chain and mitigation schemes.
 * :mod:`repro.metrics`, :mod:`repro.io` — metrics, statistics and result I/O.
-* :mod:`repro.experiments` — one driver per paper figure.
+* :mod:`repro.experiments` — one driver per paper figure, each registered as
+  a declarative :class:`~repro.experiments.registry.ExperimentSpec`.
+* :mod:`repro.api` — the public entry point: ``repro.api.run(name,
+  execution=ExecutionConfig(...))`` executes any registered experiment and
+  returns a provenance-carrying :class:`~repro.api.ExperimentArtifact`.
 """
 
 __version__ = "1.0.0"
@@ -25,4 +29,5 @@ __all__ = [
     "metrics",
     "io",
     "experiments",
+    "api",
 ]

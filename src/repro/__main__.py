@@ -1,20 +1,28 @@
 """Command-line entry point: run any figure campaign from the shell.
 
 ``python -m repro <figure>`` reproduces one paper figure (or the headline
-summary) with the experiment-level knobs exposed as flags::
+summary); every subcommand, its flags and its help text are generated from
+the declarative experiment registry (:mod:`repro.experiments.registry`), so
+registering a new :class:`~repro.experiments.registry.ExperimentSpec` is all
+it takes to extend the CLI::
 
+    python -m repro list                               # enumerate the specs
     python -m repro fig2 --approach tabular --workers 4
+    python -m repro fig5 --fast --batch-size 4
     python -m repro fig7 --fast --workers auto
     python -m repro fig10 --checkpoint-dir runs/fig10 --resume
     python -m repro summary --out-dir results/
 
-``--workers`` selects the parallel campaign engine and ``--batch-size`` the
-batched-vectorized engine (both bit-identical to serial runs for the same
-seed, and freely combinable); ``--checkpoint-dir`` streams every campaign's
-trial outcomes to JSONL files so an interrupted sweep can be restarted with
-``--resume``.  ``REPRO_SCALE``, ``REPRO_CAMPAIGN_REPS``,
-``REPRO_CAMPAIGN_WORKERS`` and ``REPRO_CAMPAIGN_BATCH`` keep working as
-environment-level defaults.
+The shared execution flags map one-to-one onto
+:class:`repro.api.ExecutionConfig`: ``--workers`` selects the parallel
+campaign engine and ``--batch-size`` the batched-vectorized engine (both
+bit-identical to serial runs for the same seed, and freely combinable);
+``--checkpoint-dir`` streams every campaign's trial outcomes to JSONL files
+so an interrupted sweep can be restarted with ``--resume``.
+``REPRO_SCALE``, ``REPRO_CAMPAIGN_REPS``, ``REPRO_CAMPAIGN_WORKERS`` and
+``REPRO_CAMPAIGN_BATCH`` keep working as environment-level defaults.
+With ``--out-dir`` each experiment writes its full
+:class:`~repro.api.ExperimentArtifact` (result + provenance) as JSON.
 """
 
 from __future__ import annotations
@@ -22,207 +30,25 @@ from __future__ import annotations
 import argparse
 import sys
 from pathlib import Path
-from typing import List, Optional
+from typing import Dict, List, Optional
 
-from repro.experiments.config import (
-    DroneConfig,
-    GridNNConfig,
-    GridTabularConfig,
-    drone_ber_sweep,
-    grid_ber_sweep,
-    injection_episodes,
+from repro.experiments.registry import (
+    ParamSpec,
+    figures,
+    list_specs,
+    specs_for_figure,
 )
-from repro.io.results import ResultTable, SeriesResult
-from repro.io.tables import render_table
 
-__all__ = ["main"]
+__all__ = ["main", "build_parser"]
 
 
-def _grid_config(args) -> "GridTabularConfig | GridNNConfig":
-    cls = GridNNConfig if args.approach == "nn" else GridTabularConfig
-    return cls.fast() if args.fast else cls()
-
-
-def _nn_config(args) -> GridNNConfig:
-    return GridNNConfig.fast() if args.fast else GridNNConfig()
-
-
-def _drone_config(args) -> DroneConfig:
-    return DroneConfig.fast() if args.fast else DroneConfig()
-
-
-def _campaign_kwargs(args, batched: bool = False) -> dict:
-    kwargs = {
-        "seed": args.seed,
-        "repetitions": args.reps,
-        "workers": args.workers,
-        "checkpoint_dir": args.checkpoint_dir,
-        "resume": args.resume,
-    }
-    if batched:
-        # Only the inference-campaign drivers expose the batch-size knob as
-        # a keyword; every other driver still honours REPRO_CAMPAIGN_BATCH
-        # through make_runner (falling back to scalar trials per batch).
-        kwargs["batch_size"] = args.batch_size
-    return kwargs
-
-
-def _run_fig2(args) -> List[ResultTable]:
-    from repro.experiments.fig2_training import (
-        run_permanent_training_sweep,
-        run_transient_training_heatmap,
-    )
-
-    config = _grid_config(args)
-    bers = grid_ber_sweep()
-    kwargs = _campaign_kwargs(args)
-    return [
-        run_transient_training_heatmap(
-            config, bers, injection_episodes(config.episodes), **kwargs
-        ),
-        run_permanent_training_sweep(config, bers, **kwargs),
-    ]
-
-
-def _run_fig3(args) -> List[SeriesResult]:
-    from repro.experiments.fig3_return_curves import run_return_curves
-
-    return [run_return_curves(_grid_config(args), seed=args.seed)]
-
-
-def _run_fig4(args) -> List[ResultTable]:
-    from repro.experiments.fig4_convergence import (
-        run_permanent_extra_training,
-        run_transient_convergence,
-    )
-
-    config = _grid_config(args)
-    bers = grid_ber_sweep()
-    kwargs = _campaign_kwargs(args)
-    return [
-        run_transient_convergence(config, bers, **kwargs),
-        run_permanent_extra_training(config, bers, **kwargs),
-    ]
-
-
-def _run_fig5(args) -> List[ResultTable]:
-    from repro.experiments.fig5_inference import run_inference_fault_sweep
-
-    return [
-        run_inference_fault_sweep(
-            _grid_config(args), grid_ber_sweep(), **_campaign_kwargs(args, batched=True)
-        )
-    ]
-
-
-def _run_fig7(args) -> List[ResultTable]:
-    from repro.experiments.fig7_drone import (
-        run_datatype_sweep,
-        run_drone_training_faults,
-        run_environment_comparison,
-        run_fault_location_sweep,
-        run_layer_sweep,
-    )
-
-    config = _drone_config(args)
-    bers = drone_ber_sweep()
-    kwargs = _campaign_kwargs(args)
-    return [
-        run_drone_training_faults(config, bers, **kwargs),
-        run_environment_comparison(config, bers, **kwargs),
-        run_fault_location_sweep(config, bers, **kwargs),
-        run_layer_sweep(config, bers, **kwargs),
-        run_datatype_sweep(config, bers, **kwargs),
-    ]
-
-
-def _run_fig8(args) -> List[ResultTable]:
-    from repro.experiments.fig8_mitigation_training import (
-        run_mitigated_permanent_sweep,
-        run_mitigated_transient_heatmap,
-    )
-
-    config = _grid_config(args)
-    bers = grid_ber_sweep()
-    kwargs = _campaign_kwargs(args)
-    return [
-        run_mitigated_transient_heatmap(
-            config, bers, injection_episodes(config.episodes), **kwargs
-        ),
-        run_mitigated_permanent_sweep(config, bers, **kwargs),
-    ]
-
-
-def _run_fig9(args) -> List[ResultTable]:
-    from repro.experiments.fig9_exploration import (
-        run_exploration_adjustment_sweep,
-        run_recovery_speed_correlation,
-    )
-
-    config = _grid_config(args)
-    kwargs = _campaign_kwargs(args, batched=True)
-    return [
-        run_exploration_adjustment_sweep(config, grid_ber_sweep(), **kwargs),
-        run_recovery_speed_correlation(config, **kwargs),
-    ]
-
-
-def _run_fig10(args) -> List[ResultTable]:
-    from repro.experiments.fig10_anomaly import (
-        run_drone_anomaly_mitigation,
-        run_gridworld_anomaly_mitigation,
-    )
-
-    kwargs = _campaign_kwargs(args, batched=True)
-    return [
-        run_gridworld_anomaly_mitigation(_nn_config(args), grid_ber_sweep(), **kwargs),
-        run_drone_anomaly_mitigation(_drone_config(args), drone_ber_sweep(), **kwargs),
-    ]
-
-
-def _run_summary(args) -> List[ResultTable]:
-    from repro.experiments.summary import run_headline_summary
-
-    return [
-        run_headline_summary(
-            grid_config=_nn_config(args),
-            drone_config=_drone_config(args),
-            seed=args.seed,
-            workers=args.workers,
-            checkpoint_dir=args.checkpoint_dir,
-            resume=args.resume,
-        )
-    ]
-
-
-FIGURES = {
-    "fig2": ("training-fault heatmaps (Fig. 2)", _run_fig2),
-    "fig3": ("cumulative-return curves (Fig. 3)", _run_fig3),
-    "fig4": ("post-fault convergence (Fig. 4)", _run_fig4),
-    "fig5": ("inference-fault sweep (Fig. 5)", _run_fig5),
-    "fig7": ("drone fault characterization (Fig. 7)", _run_fig7),
-    "fig8": ("adaptive-exploration mitigation (Fig. 8)", _run_fig8),
-    "fig9": ("exploration adjustment (Fig. 9)", _run_fig9),
-    "fig10": ("anomaly-detection mitigation (Fig. 10)", _run_fig10),
-    "summary": ("headline summary (Sec. 5.2)", _run_summary),
-}
-
-
-def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro",
-        description="Run a fault-injection figure campaign from the DAC'21 reproduction.",
-        epilog="Figures: "
-        + "; ".join(f"{name} — {desc}" for name, (desc, _) in FIGURES.items()),
-    )
-    parser.add_argument("figure", choices=sorted(FIGURES), help="which figure to reproduce")
-    parser.add_argument(
-        "--approach",
-        choices=("tabular", "nn"),
-        default="tabular",
-        help="Grid World agent for fig2-fig5/fig8/fig9 (default: tabular)",
-    )
-    parser.add_argument(
+# --------------------------------------------------------------------------- #
+# Parser generation
+# --------------------------------------------------------------------------- #
+def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
+    """The shared engine/checkpoint/seed flags (one per ExecutionConfig knob)."""
+    group = parser.add_argument_group("execution")
+    group.add_argument(
         "--workers",
         type=lambda v: None if v == "" else v,
         default=None,
@@ -230,80 +56,196 @@ def build_parser() -> argparse.ArgumentParser:
         help="campaign worker processes ('auto' = one per CPU; default: "
         "REPRO_CAMPAIGN_WORKERS or serial)",
     )
-    parser.add_argument(
+    group.add_argument(
         "--batch-size",
-        type=int,
         default=None,
         metavar="B",
-        help="trials evaluated per vectorized batch for the inference "
-        "campaigns (default: REPRO_CAMPAIGN_BATCH or serial)",
+        help="trials evaluated per vectorized batch (default: "
+        "REPRO_CAMPAIGN_BATCH or serial; trial functions without a "
+        "vectorized implementation fall back to scalar execution)",
     )
-    parser.add_argument(
+    group.add_argument(
         "--checkpoint-dir",
         type=Path,
         default=None,
         metavar="DIR",
         help="stream per-campaign trial outcomes to JSONL files in DIR",
     )
-    parser.add_argument(
+    group.add_argument(
         "--resume",
         action="store_true",
         help="skip trials already recorded under --checkpoint-dir",
     )
-    parser.add_argument("--seed", type=int, default=0, help="campaign seed (default: 0)")
-    parser.add_argument(
+    group.add_argument("--seed", type=int, default=0, help="campaign seed (default: 0)")
+    group.add_argument(
         "--reps",
-        type=int,
         default=None,
         metavar="N",
         help="campaign repetitions (default: config / REPRO_CAMPAIGN_REPS)",
     )
-    parser.add_argument(
-        "--fast",
-        action="store_true",
-        help="use the heavily reduced unit-test presets (smoke runs)",
-    )
-    parser.add_argument(
+    group.add_argument(
         "--out-dir",
         type=Path,
         default=None,
         metavar="DIR",
-        help="also write each result table as JSON into DIR",
+        help="write each experiment's artifact (result + provenance) as JSON into DIR",
     )
+
+
+def _flag_name(param: ParamSpec) -> str:
+    return "--" + param.name.replace("_", "-")
+
+
+def _add_param_flag(parser: argparse.ArgumentParser, param: ParamSpec) -> None:
+    """Derive one argparse flag from a typed spec parameter."""
+    help_text = (param.help or param.name).replace("%", "%%")
+    if param.type is bool:
+        if param.default:
+            # bool-default-true parameters become --no-<name> switches.
+            parser.add_argument(
+                "--no-" + param.name.replace("_", "-"),
+                dest=param.name,
+                action="store_false",
+                help=f"disable: {help_text}",
+            )
+        else:
+            parser.add_argument(_flag_name(param), action="store_true", help=help_text)
+        parser.set_defaults(**{param.name: param.default})
+        return
+    parser.add_argument(
+        _flag_name(param),
+        type=param.type,
+        default=param.default,
+        choices=param.choices,
+        help=f"{help_text} (default: {param.default})",
+    )
+
+
+def _figure_params(figure: str) -> List[ParamSpec]:
+    """Union of a figure's spec parameters (deduplicated by name).
+
+    Two specs may share a parameter name as long as the flag they generate
+    is the same (type, default, choices); help text may differ — the first
+    registration wins.  Genuinely conflicting declarations are a
+    programming error and fail the parser build.
+    """
+    merged: Dict[str, ParamSpec] = {}
+    for spec in specs_for_figure(figure):
+        for param in spec.params:
+            existing = merged.get(param.name)
+            if existing is None:
+                merged[param.name] = param
+            elif (existing.type, existing.default, existing.choices) != (
+                param.type,
+                param.default,
+                param.choices,
+            ):
+                raise ValueError(
+                    f"figure {figure!r}: specs disagree on parameter {param.name!r}"
+                )
+    return list(merged.values())
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Run a fault-injection figure campaign from the DAC'21 "
+        "reproduction.  Subcommands are generated from the experiment "
+        "registry; see 'python -m repro list'.",
+    )
+    subparsers = parser.add_subparsers(dest="figure", metavar="figure", required=True)
+    # figure -> subparser, so flag-validation errors can report the usage of
+    # the subcommand actually invoked instead of the top-level synopsis.
+    parser.figure_parsers = {}
+
+    subparsers.add_parser(
+        "list",
+        help="list every registered experiment spec and its parameters",
+        description="Enumerate the declarative experiment registry.",
+    )
+
+    for figure in figures():
+        specs = specs_for_figure(figure)
+        summary = "; ".join(spec.description for spec in specs)
+        sub = subparsers.add_parser(
+            figure,
+            # argparse %-interpolates help strings, so literal % (e.g. "+39%")
+            # must be escaped.
+            help=summary.replace("%", "%%"),
+            description=f"Runs: {'; '.join(spec.name for spec in specs)}.",
+        )
+        _add_execution_flags(sub)
+        for param in _figure_params(figure):
+            _add_param_flag(sub, param)
+        parser.figure_parsers[figure] = sub
     return parser
 
 
-def _parse_workers(value) -> Optional[int]:
-    if value is None:
-        return None
-    from repro.core.runner import parse_worker_count
+# --------------------------------------------------------------------------- #
+# Command implementations
+# --------------------------------------------------------------------------- #
+def _render_listing() -> str:
+    lines = ["Registered experiment specs:", ""]
+    for spec in list_specs():
+        engine = " [batched]" if spec.batched else ""
+        lines.append(f"{spec.name}{engine}")
+        lines.append(f"    {spec.description}")
+        if spec.params:
+            rendered = "; ".join(param.describe() for param in spec.params)
+            lines.append(f"    params: {rendered}")
+    lines.append("")
+    lines.append(
+        "Run a figure with 'python -m repro <figure>', or any single spec "
+        "programmatically via repro.api.run(name)."
+    )
+    return "\n".join(lines)
 
-    return parse_worker_count(value)
+
+def _execution_from_args(args, parser: argparse.ArgumentParser):
+    from repro.api import ExecutionConfig
+
+    try:
+        return ExecutionConfig(
+            seed=args.seed,
+            repetitions=args.reps,
+            workers=args.workers,
+            batch_size=args.batch_size,
+            checkpoint_dir=args.checkpoint_dir,
+            resume=args.resume,
+        )
+    except ValueError as exc:
+        reporter = getattr(parser, "figure_parsers", {}).get(args.figure, parser)
+        reporter.error(str(exc))
+
+
+def _artifact_slug(title: str) -> str:
+    return "".join(c if c.isalnum() else "_" for c in title).strip("_")
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    try:
-        args.workers = _parse_workers(args.workers)
-    except ValueError:
-        parser.error(f"--workers must be a positive integer or 'auto', got {args.workers!r}")
-    if args.batch_size is not None and args.batch_size <= 0:
-        parser.error(f"--batch-size must be positive, got {args.batch_size}")
-    if args.resume and args.checkpoint_dir is None:
-        parser.error("--resume requires --checkpoint-dir")
 
-    _, run = FIGURES[args.figure]
-    results = run(args)
+    if args.figure == "list":
+        print(_render_listing())
+        return 0
 
-    for result in results:
-        table = result.as_table() if isinstance(result, SeriesResult) else result
+    from repro import api
+    from repro.io.tables import render_table
+
+    execution = _execution_from_args(args, parser)
+    for spec in specs_for_figure(args.figure):
+        params = {param.name: getattr(args, param.name) for param in spec.params}
+        try:
+            params = spec.resolve_params(params)
+        except (TypeError, ValueError) as exc:
+            parser.figure_parsers[args.figure].error(str(exc))
+        artifact = api.run(spec, params, execution=execution)
         print()
-        print(render_table(table))
+        print(render_table(artifact.as_table()))
         if args.out_dir is not None:
             args.out_dir.mkdir(parents=True, exist_ok=True)
-            slug = "".join(c if c.isalnum() else "_" for c in result.title).strip("_")
-            result.to_json(args.out_dir / f"{slug}.json")
+            artifact.to_json(args.out_dir / f"{_artifact_slug(artifact.title)}.json")
     return 0
 
 

@@ -1,0 +1,105 @@
+"""repro.api — the declarative experiment API (the public entry point).
+
+Experiments are *data*: each paper figure registers one or more
+:class:`~repro.experiments.registry.ExperimentSpec` objects describing its
+typed sweep parameters, and :func:`run` executes any spec by name under a
+single :class:`ExecutionConfig` that bundles every engine / checkpoint /
+seed / scale knob::
+
+    from repro import api
+
+    artifact = api.run(
+        "fig5.inference",
+        params={"approach": "nn"},
+        execution=api.ExecutionConfig(seed=1, batch_size=8, workers=4),
+    )
+    artifact.result      # the ResultTable, bit-identical to a serial run
+    artifact.engine      # "batched(8) x 4 workers"
+    artifact.to_json("fig5.json")
+
+The same registry drives the CLI (``python -m repro <figure>`` and
+``python -m repro list``), so anything expressible as a flag is expressible
+programmatically and vice versa.  The per-driver ``run_*`` functions remain
+as deprecated shims delegating to the same machinery.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, List, Mapping, Optional
+
+from repro.api.artifact import ExperimentArtifact
+from repro.api.execution import ExecutionConfig, resolve_execution
+
+__all__ = [
+    "ExecutionConfig",
+    "ExperimentArtifact",
+    "resolve_execution",
+    "run",
+    "get_spec",
+    "list_experiments",
+]
+
+
+def get_spec(name: str):
+    """Look up a registered :class:`~repro.experiments.registry.ExperimentSpec`."""
+    from repro.experiments.registry import get_spec as _get_spec
+
+    return _get_spec(name)
+
+
+def list_experiments() -> List[Any]:
+    """Every registered spec, ordered by figure (``fig2`` … ``summary``)."""
+    from repro.experiments.registry import list_specs
+
+    return list_specs()
+
+
+def run(
+    spec_or_name,
+    params: Optional[Mapping[str, Any]] = None,
+    *,
+    execution: Optional[ExecutionConfig] = None,
+    **param_overrides: Any,
+) -> ExperimentArtifact:
+    """Run one registered experiment and return a provenance-carrying artifact.
+
+    Parameters
+    ----------
+    spec_or_name:
+        An :class:`~repro.experiments.registry.ExperimentSpec` or its
+        registered name (e.g. ``"fig5.inference"``).
+    params:
+        Experiment parameter overrides, validated against the spec's typed
+        parameter schema (unknown names raise ``TypeError``).  Scalar
+        overrides may also be passed as keyword arguments.
+    execution:
+        The :class:`ExecutionConfig`; defaults to environment-driven serial
+        execution.  Engine choice never changes the numbers — campaigns are
+        bit-identical across serial / parallel / batched execution for the
+        same seed.
+    """
+    from repro.experiments.registry import ExperimentSpec, get_spec as _get_spec
+
+    if isinstance(spec_or_name, ExperimentSpec):
+        spec = spec_or_name
+    else:
+        spec = _get_spec(str(spec_or_name))
+    merged = dict(params or {})
+    for name, value in param_overrides.items():
+        if name in merged:
+            raise TypeError(f"parameter {name!r} given both in params= and as a keyword")
+        merged[name] = value
+    resolved_params = spec.resolve_params(merged)
+    execution = (execution or ExecutionConfig()).resolved()
+
+    start = time.perf_counter()
+    result = spec.run_fn(execution, **resolved_params)
+    wall_time = time.perf_counter() - start
+    return ExperimentArtifact(
+        spec_name=spec.name,
+        params=resolved_params,
+        execution=execution,
+        wall_time_s=wall_time,
+        result=result,
+    )

@@ -1,0 +1,127 @@
+"""Structured result of one declarative experiment run.
+
+:func:`repro.api.run` wraps the result table of every experiment in an
+:class:`ExperimentArtifact` carrying provenance — which spec ran, the
+resolved parameters, the resolved :class:`~repro.api.execution.ExecutionConfig`,
+the engine it selected, the seed and the wall time.  Campaign repetition
+counts are recorded in the result rows themselves (every driver emits a
+``repetitions`` column): when ``execution.repetitions`` is ``None`` the
+count comes from the experiment config's preset, which honours
+``REPRO_CAMPAIGN_REPS``, so reproducing an artifact exactly means replaying
+its execution config with the per-row repetition count (or the same
+environment).  Artifacts serialize through :mod:`repro.io` and round-trip
+via :meth:`to_json` / :meth:`from_json`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from repro.api.execution import ExecutionConfig
+from repro.io.results import RESULT_KINDS, ResultTable, SeriesResult, result_kind
+
+__all__ = ["ExperimentArtifact"]
+
+_ARTIFACT_KIND = "repro-experiment-artifact"
+
+
+@dataclass(frozen=True)
+class ExperimentArtifact:
+    """One experiment result plus the provenance needed to reproduce it."""
+
+    spec_name: str
+    params: Dict[str, Any]
+    execution: ExecutionConfig
+    wall_time_s: float
+    result: Union[ResultTable, SeriesResult]
+
+    @property
+    def title(self) -> str:
+        return self.result.title
+
+    @property
+    def seed(self) -> int:
+        """The experiment seed (derived from the execution config)."""
+        return self.execution.seed
+
+    @property
+    def engine(self) -> str:
+        """Human-readable engine summary (derived from the execution config)."""
+        return self.execution.engine_description()
+
+    def as_table(self) -> ResultTable:
+        """The result as a row table (series results are flattened)."""
+        if isinstance(self.result, SeriesResult):
+            return self.result.as_table()
+        return self.result
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        # "engine" and "seed" are serialization-only conveniences derived
+        # from "execution", which is the single authoritative record.
+        return {
+            "kind": _ARTIFACT_KIND,
+            "spec": self.spec_name,
+            "params": dict(self.params),
+            "execution": self.execution.to_json_dict(),
+            "engine": self.engine,
+            "seed": self.seed,
+            "wall_time_s": self.wall_time_s,
+            "result": {
+                "kind": result_kind(self.result),
+                **self.result.to_json_dict(),
+            },
+        }
+
+    def to_json(self, path: Optional[Path] = None) -> str:
+        """Serialize to JSON; optionally also write to ``path``."""
+        payload = json.dumps(self.to_json_dict(), indent=2, default=float)
+        if path is not None:
+            Path(path).write_text(payload)
+        return payload
+
+    @classmethod
+    def from_json_dict(cls, data: Dict[str, Any]) -> "ExperimentArtifact":
+        if data.get("kind") != _ARTIFACT_KIND:
+            raise ValueError(
+                f"not an experiment artifact: kind={data.get('kind')!r} "
+                f"(expected {_ARTIFACT_KIND!r})"
+            )
+        result_data = dict(data["result"])
+        result_cls = RESULT_KINDS.get(result_data.pop("kind", None))
+        if result_cls is None:
+            raise ValueError(f"unknown result kind in artifact {data.get('spec')!r}")
+        return cls(
+            spec_name=data["spec"],
+            params=dict(data["params"]),
+            execution=ExecutionConfig.from_json_dict(data["execution"]),
+            wall_time_s=float(data["wall_time_s"]),
+            result=result_cls.from_json_dict(result_data),
+        )
+
+    @classmethod
+    def from_json(cls, payload: Union[str, Path]) -> "ExperimentArtifact":
+        """Deserialize from a JSON payload or a file path (mirrors :meth:`to_json`).
+
+        Artifact payloads are always JSON objects, so a string that does not
+        start with ``{`` is treated as a path — ``from_json("fig5.json")``
+        reads the file ``to_json("fig5.json")`` wrote.  A string that is
+        neither raises ``ValueError`` rather than a confusing filesystem
+        error.
+        """
+        if isinstance(payload, Path):
+            payload = payload.read_text()
+        elif not payload.lstrip("\ufeff \t\r\n").startswith("{"):
+            try:
+                is_file = Path(payload).is_file()
+            except (OSError, ValueError):  # e.g. a multi-KB payload as a "name"
+                is_file = False
+            if not is_file:
+                raise ValueError(
+                    "from_json expects an artifact JSON object or the path of "
+                    f"one; got neither: {payload[:80]!r}"
+                )
+            payload = Path(payload).read_text()
+        return cls.from_json_dict(json.loads(payload.lstrip("\ufeff")))

@@ -31,6 +31,7 @@ from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.core.envvars import env_positive_int
 from repro.metrics.statistics import mean_confidence_interval, wilson_confidence_interval
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (io imports campaign)
@@ -45,16 +46,7 @@ REPS_ENV_VAR = "REPRO_CAMPAIGN_REPS"
 
 def default_repetitions(fallback: int) -> int:
     """Campaign repetitions: the ``REPRO_CAMPAIGN_REPS`` override or ``fallback``."""
-    value = os.environ.get(REPS_ENV_VAR)
-    if value is None:
-        return fallback
-    try:
-        parsed = int(value)
-    except ValueError as exc:
-        raise ValueError(f"{REPS_ENV_VAR} must be an integer, got {value!r}") from exc
-    if parsed <= 0:
-        raise ValueError(f"{REPS_ENV_VAR} must be positive, got {parsed}")
-    return parsed
+    return env_positive_int(REPS_ENV_VAR, fallback)
 
 
 @dataclass(frozen=True)

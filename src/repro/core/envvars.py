@@ -1,0 +1,53 @@
+"""Shared parsing for the ``REPRO_*`` integer environment knobs.
+
+Three environment variables tune campaign execution — ``REPRO_CAMPAIGN_REPS``
+(repetition counts), ``REPRO_CAMPAIGN_WORKERS`` (process-pool size, where
+``"auto"`` means one per CPU) and ``REPRO_CAMPAIGN_BATCH`` (vectorized batch
+size).  They share one parse-and-validate rule, defined here exactly once so
+the error messages stay consistent whether a bad value arrives through the
+environment, a driver keyword or a CLI flag.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Union
+
+__all__ = ["parse_positive_int", "env_positive_int"]
+
+
+def parse_positive_int(
+    value: Union[str, int], what: str, *, allow_auto: bool = False
+) -> int:
+    """Parse ``value`` as a positive integer (optionally accepting ``"auto"``).
+
+    ``what`` names the knob in error messages (an environment variable, a
+    keyword argument or a CLI flag).  With ``allow_auto=True`` the string
+    ``"auto"`` resolves to one per CPU, the convention for worker counts.
+    """
+    if not isinstance(value, int) or isinstance(value, bool):
+        text = str(value).strip()
+        if allow_auto and text.lower() == "auto":
+            return os.cpu_count() or 1
+        try:
+            value = int(text)
+        except ValueError as exc:
+            accepted = "a positive integer or 'auto'" if allow_auto else "a positive integer"
+            raise ValueError(f"{what} must be {accepted}, got {value!r}") from exc
+    if value <= 0:
+        raise ValueError(f"{what} must be positive, got {value}")
+    return value
+
+
+def env_positive_int(
+    name: str, fallback: Optional[int] = None, *, allow_auto: bool = False
+) -> Optional[int]:
+    """Read environment variable ``name`` as a positive integer.
+
+    Returns ``fallback`` when the variable is unset; raises ``ValueError``
+    (naming the variable) when it is set to anything that does not parse.
+    """
+    raw = os.environ.get(name)
+    if raw is None:
+        return fallback
+    return parse_positive_int(raw, name, allow_auto=allow_auto)

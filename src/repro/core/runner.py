@@ -42,6 +42,8 @@ from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.core.envvars import env_positive_int, parse_positive_int
+
 __all__ = [
     "TrialExecutionError",
     "CampaignRunner",
@@ -73,46 +75,22 @@ ResultCallback = Callable[[int, "TrialOutcome"], None]
 
 def parse_worker_count(value: Union[str, int], what: str = "workers") -> int:
     """Parse a worker count: a positive integer or ``"auto"`` (one per CPU)."""
-    if not isinstance(value, int):
-        if str(value).strip().lower() == "auto":
-            return os.cpu_count() or 1
-        try:
-            value = int(value)
-        except ValueError as exc:
-            raise ValueError(
-                f"{what} must be a positive integer or 'auto', got {value!r}"
-            ) from exc
-    if value <= 0:
-        raise ValueError(f"{what} must be positive, got {value}")
-    return value
+    return parse_positive_int(value, what, allow_auto=True)
 
 
 def default_workers() -> int:
     """Default campaign worker count: ``REPRO_CAMPAIGN_WORKERS`` or 1."""
-    value = os.environ.get(WORKERS_ENV_VAR)
-    if value is None:
-        return 1
-    return parse_worker_count(value, what=WORKERS_ENV_VAR)
+    return env_positive_int(WORKERS_ENV_VAR, 1, allow_auto=True)
 
 
 def parse_batch_size(value: Union[str, int], what: str = "batch_size") -> int:
     """Parse a batch size: a positive integer."""
-    if not isinstance(value, int):
-        try:
-            value = int(str(value).strip())
-        except ValueError as exc:
-            raise ValueError(f"{what} must be a positive integer, got {value!r}") from exc
-    if value <= 0:
-        raise ValueError(f"{what} must be positive, got {value}")
-    return value
+    return parse_positive_int(value, what)
 
 
 def default_batch_size() -> int:
     """Default campaign batch size: ``REPRO_CAMPAIGN_BATCH`` or 1."""
-    value = os.environ.get(BATCH_ENV_VAR)
-    if value is None:
-        return 1
-    return parse_batch_size(value, what=BATCH_ENV_VAR)
+    return env_positive_int(BATCH_ENV_VAR, 1)
 
 
 def make_runner(

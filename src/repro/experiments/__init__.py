@@ -2,7 +2,10 @@
 
 Each module exposes ``run_*`` functions that return
 :class:`~repro.io.results.ResultTable` / :class:`~repro.io.results.SeriesResult`
-objects reproducing the rows and series of the corresponding figure.  The
+objects reproducing the rows and series of the corresponding figure, and
+registers each experiment as a declarative
+:class:`~repro.experiments.registry.ExperimentSpec` — the preferred way to
+run them is :func:`repro.api.run` (or the registry-generated CLI).  The
 benchmark harness under ``benchmarks/`` calls these drivers and prints the
 resulting tables; EXPERIMENTS.md records paper-vs-measured values.
 
@@ -17,7 +20,16 @@ from repro.experiments.config import (
     GridTabularConfig,
     GridNNConfig,
     DroneConfig,
+    drone_config_for,
     get_scale,
+    grid_config_for,
+)
+from repro.experiments.registry import (
+    ExperimentSpec,
+    ParamSpec,
+    get_spec,
+    list_specs,
+    register_experiment,
 )
 
 __all__ = [
@@ -26,4 +38,11 @@ __all__ = [
     "GridNNConfig",
     "DroneConfig",
     "get_scale",
+    "grid_config_for",
+    "drone_config_for",
+    "ExperimentSpec",
+    "ParamSpec",
+    "register_experiment",
+    "get_spec",
+    "list_specs",
 ]

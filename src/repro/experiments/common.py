@@ -17,11 +17,14 @@ from __future__ import annotations
 import re
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Dict, Iterable, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.core.campaign import Campaign, CampaignResult, ProgressFn, TrialFn
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only (api imports experiments)
+    from repro.api.execution import ExecutionConfig
 from repro.core.runner import CampaignRunner, make_runner
 from repro.io.results import CampaignCheckpoint
 
@@ -77,6 +80,7 @@ def run_campaign(
     campaign: Campaign,
     trial_fn: TrialFn,
     *,
+    execution: Optional["ExecutionConfig"] = None,
     runner: Optional[CampaignRunner] = None,
     workers: Optional[int] = None,
     batch_size: Optional[int] = None,
@@ -86,14 +90,28 @@ def run_campaign(
 ) -> CampaignResult:
     """Execute a campaign with the experiment-level runner / checkpoint knobs.
 
-    ``runner`` wins over ``workers`` / ``batch_size``; with neither, the
-    engine comes from ``REPRO_CAMPAIGN_WORKERS`` / ``REPRO_CAMPAIGN_BATCH``
-    (serial by default).  ``batch_size > 1`` selects the batched engine,
-    which vectorizes trial functions implementing ``run_batch`` and falls
-    back to scalar execution otherwise.  When ``checkpoint_dir`` is given,
-    outcomes stream to ``<checkpoint_dir>/<campaign name>.jsonl`` and
-    ``resume=True`` skips trials already recorded there.
+    ``execution`` (an :class:`~repro.api.execution.ExecutionConfig`) is the
+    declarative form and supplies engine, checkpoint directory and resume
+    behaviour in one object; mixing it with the individual knobs raises.
+    Otherwise ``runner`` wins over ``workers`` / ``batch_size``; with
+    neither, the engine comes from ``REPRO_CAMPAIGN_WORKERS`` /
+    ``REPRO_CAMPAIGN_BATCH`` (serial by default).  ``batch_size > 1``
+    selects the batched engine, which vectorizes trial functions
+    implementing ``run_batch`` and falls back to scalar execution
+    otherwise.  When ``checkpoint_dir`` is given, outcomes stream to
+    ``<checkpoint_dir>/<campaign name>.jsonl`` and ``resume=True`` skips
+    trials already recorded there.
     """
+    if execution is not None:
+        if runner is not None or workers is not None or batch_size is not None \
+                or checkpoint_dir is not None or resume:
+            raise TypeError(
+                "run_campaign: pass either execution= or the individual "
+                "runner/workers/batch_size/checkpoint_dir/resume knobs, not both"
+            )
+        runner = execution.make_runner()
+        checkpoint_dir = execution.checkpoint_dir
+        resume = execution.resume
     if runner is None:
         runner = make_runner(workers, batch_size)
     checkpoint = None

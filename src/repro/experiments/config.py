@@ -18,12 +18,13 @@ from __future__ import annotations
 import enum
 import os
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import ClassVar, List, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.core.campaign import default_repetitions
 from repro.core.runner import WORKERS_ENV_VAR, default_workers
+from repro.experiments.registry import ParamSpec
 from repro.quant.qformat import Q8_GRID, Q16_NARROW, QFormat
 
 __all__ = [
@@ -32,6 +33,11 @@ __all__ = [
     "GridTabularConfig",
     "GridNNConfig",
     "DroneConfig",
+    "GRID_APPROACHES",
+    "APPROACH_PARAM",
+    "FAST_PARAM",
+    "grid_config_for",
+    "drone_config_for",
     "default_workers",
     "WORKERS_ENV_VAR",
 ]
@@ -58,8 +64,13 @@ def get_scale() -> ExperimentScale:
         raise ValueError(f"{SCALE_ENV_VAR} must be one of {valid}, got {raw!r}") from exc
 
 
-def _scaled(small: int, medium: int, paper: int, scale: Optional[ExperimentScale] = None) -> int:
-    scale = scale or get_scale()
+def _scaled(
+    small: int,
+    medium: int,
+    paper: int,
+    scale: Optional[Union[ExperimentScale, str]] = None,
+) -> int:
+    scale = ExperimentScale(scale) if scale is not None else get_scale()
     if scale is ExperimentScale.SMALL:
         return small
     if scale is ExperimentScale.MEDIUM:
@@ -83,7 +94,11 @@ class GridTabularConfig:
     value_scale: float = 7.5
     initial_q: float = 0.5
     eval_trials: int = 30
-    repetitions: int = field(default_factory=lambda: default_repetitions(_scaled(3, 10, 1000)))
+    #: (small, medium, paper) campaign repetition presets.
+    REPS_PRESET: ClassVar[Tuple[int, int, int]] = (3, 10, 1000)
+    repetitions: int = field(
+        default_factory=lambda: default_repetitions(_scaled(*GridTabularConfig.REPS_PRESET))
+    )
 
     @classmethod
     def fast(cls) -> "GridTabularConfig":
@@ -117,7 +132,11 @@ class GridNNConfig:
     target_update_every: int = 100
     weight_qformat: QFormat = Q16_NARROW
     eval_trials: int = 30
-    repetitions: int = field(default_factory=lambda: default_repetitions(_scaled(2, 8, 1000)))
+    #: (small, medium, paper) campaign repetition presets.
+    REPS_PRESET: ClassVar[Tuple[int, int, int]] = (2, 8, 1000)
+    repetitions: int = field(
+        default_factory=lambda: default_repetitions(_scaled(*GridNNConfig.REPS_PRESET))
+    )
 
     @classmethod
     def fast(cls) -> "GridNNConfig":
@@ -141,7 +160,11 @@ class DroneConfig:
     max_eval_steps: int = 300
     finetune_episodes: int = 8
     finetune_max_steps: int = 60
-    repetitions: int = field(default_factory=lambda: default_repetitions(_scaled(2, 5, 100)))
+    #: (small, medium, paper) campaign repetition presets.
+    REPS_PRESET: ClassVar[Tuple[int, int, int]] = (2, 5, 100)
+    repetitions: int = field(
+        default_factory=lambda: default_repetitions(_scaled(*DroneConfig.REPS_PRESET))
+    )
 
     @classmethod
     def fast(cls) -> "DroneConfig":
@@ -170,20 +193,73 @@ DRONE_BER_SWEEP_SMALL: List[float] = [0.0, 1e-5, 5e-5, 1e-4, 1e-3, 1e-2]
 DRONE_BER_SWEEP_PAPER: List[float] = [0.0, 1e-5, 5e-5, 1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 5e-2, 1e-1]
 
 
-def grid_ber_sweep(scale: Optional[ExperimentScale] = None) -> List[float]:
+def grid_ber_sweep(scale: Optional[Union[ExperimentScale, str]] = None) -> List[float]:
     """Grid World bit-error-rate sweep for the current scale."""
-    scale = scale or get_scale()
+    scale = ExperimentScale(scale) if scale is not None else get_scale()
     return GRID_BER_SWEEP_PAPER if scale is not ExperimentScale.SMALL else GRID_BER_SWEEP_SMALL
 
 
-def drone_ber_sweep(scale: Optional[ExperimentScale] = None) -> List[float]:
+def drone_ber_sweep(scale: Optional[Union[ExperimentScale, str]] = None) -> List[float]:
     """Drone bit-error-rate sweep for the current scale."""
-    scale = scale or get_scale()
+    scale = ExperimentScale(scale) if scale is not None else get_scale()
     return DRONE_BER_SWEEP_PAPER if scale is not ExperimentScale.SMALL else DRONE_BER_SWEEP_SMALL
 
 
-def injection_episodes(total_episodes: int, scale: Optional[ExperimentScale] = None) -> List[int]:
+#: Valid ``approach`` values for the Grid World experiments.
+GRID_APPROACHES: Tuple[str, ...] = ("tabular", "nn")
+
+#: Shared spec parameters (every Grid World spec takes ``approach``; every
+#: spec takes ``fast``).  Declared once so the registry and CLI stay aligned.
+APPROACH_PARAM = ParamSpec(
+    "approach",
+    str,
+    "tabular",
+    help="Grid World agent approach",
+    choices=GRID_APPROACHES,
+)
+FAST_PARAM = ParamSpec(
+    "fast", bool, False, help="use the heavily reduced unit-test presets (smoke runs)"
+)
+
+
+def _preset(cls, fast: bool, scale: "Optional[Union[ExperimentScale, str]]"):
+    """Build a config preset, optionally pinning the scale's repetition count."""
+    if fast:
+        return cls.fast()
+    if scale is None:
+        return cls()
+    scale = ExperimentScale(scale)
+    return cls(repetitions=default_repetitions(_scaled(*cls.REPS_PRESET, scale=scale)))
+
+
+def grid_config_for(
+    approach: str = "tabular",
+    fast: bool = False,
+    scale: Optional[Union[ExperimentScale, str]] = None,
+) -> "Union[GridTabularConfig, GridNNConfig]":
+    """Grid World config preset for an ``approach`` / ``fast`` selection.
+
+    This is how the declarative specs (and the CLI's ``--approach`` /
+    ``--fast`` flags) construct configs; ``scale`` pins the repetition
+    preset explicitly instead of re-reading ``REPRO_SCALE``.
+    """
+    if approach not in GRID_APPROACHES:
+        raise ValueError(f"approach must be one of {GRID_APPROACHES}, got {approach!r}")
+    cls = GridNNConfig if approach == "nn" else GridTabularConfig
+    return _preset(cls, fast, scale)
+
+
+def drone_config_for(
+    fast: bool = False, scale: Optional[Union[ExperimentScale, str]] = None
+) -> DroneConfig:
+    """Drone config preset (the CLI's ``--fast`` flag), like :func:`grid_config_for`."""
+    return _preset(DroneConfig, fast, scale)
+
+
+def injection_episodes(
+    total_episodes: int, scale: Optional[Union[ExperimentScale, str]] = None
+) -> List[int]:
     """Fault-injection episode grid (Fig. 2 x-axis) for the current scale."""
-    scale = scale or get_scale()
+    scale = ExperimentScale(scale) if scale is not None else get_scale()
     points = _scaled(3, 6, 11, scale)
     return [int(round(e)) for e in np.linspace(0, total_episodes - 1, points)]

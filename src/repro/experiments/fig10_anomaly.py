@@ -14,19 +14,28 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.api.execution import ExecutionConfig, resolve_execution
 from repro.core.campaign import Campaign, TrialOutcome
 from repro.core.fault_models import TransientBitFlip
 from repro.core.injector import inject_weight_faults
 from repro.core.mitigation.anomaly import RangeAnomalyDetector
-from repro.core.runner import make_runner
 from repro.experiments.common import (
     build_drone_bundle,
     evaluate_drone_msf,
     run_campaign,
     train_grid_nn,
 )
-from repro.experiments.config import DroneConfig, GridNNConfig
+from repro.experiments.config import (
+    FAST_PARAM,
+    DroneConfig,
+    GridNNConfig,
+    drone_ber_sweep,
+    drone_config_for,
+    grid_ber_sweep,
+    grid_config_for,
+)
 from repro.experiments.fig7_drone import executor_policy
+from repro.experiments.registry import ParamSpec, register_experiment
 from repro.io.results import ResultTable
 from repro.nn.buffers import QuantizedExecutor
 from repro.rl.evaluation import evaluate_success_rate
@@ -38,13 +47,15 @@ def run_gridworld_anomaly_mitigation(
     config: GridNNConfig,
     bit_error_rates: Sequence[float],
     margin: float = 0.1,
-    seed: int = 0,
+    seed: Optional[int] = None,
     repetitions: Optional[int] = None,
     episodes_per_trial: int = 5,
     workers: Optional[int] = None,
     batch_size: Optional[int] = None,
     checkpoint_dir=None,
     resume: bool = False,
+    *,
+    execution: Optional[ExecutionConfig] = None,
 ) -> ResultTable:
     """Fig. 10a — Grid World NN inference success rate, mitigation on vs off.
 
@@ -52,8 +63,17 @@ def run_gridworld_anomaly_mitigation(
     trials have no vectorized implementation yet, so batches fall back to
     scalar execution (outcomes are unchanged either way).
     """
-    repetitions = repetitions or config.repetitions
-    runner = make_runner(workers, batch_size)
+    execution = resolve_execution(
+        execution,
+        seed=seed,
+        repetitions=repetitions,
+        workers=workers,
+        batch_size=batch_size,
+        checkpoint_dir=checkpoint_dir,
+        resume=resume,
+    )
+    seed = execution.seed
+    repetitions = execution.resolve_repetitions(config.repetitions)
     rng = np.random.default_rng(seed)
     agent, eval_env, _ = train_grid_nn(config, rng)
 
@@ -89,9 +109,7 @@ def run_gridworld_anomaly_mitigation(
             result = run_campaign(
                 Campaign(f"fig10a-{label}-ber{ber}", repetitions, seed=seed + 1),
                 trial,
-                runner=runner,
-                checkpoint_dir=checkpoint_dir,
-                resume=resume,
+                execution=execution,
             )
             table.add(
                 mitigation=mitigation,
@@ -106,12 +124,14 @@ def run_drone_anomaly_mitigation(
     config: DroneConfig,
     bit_error_rates: Sequence[float],
     margin: float = 0.1,
-    seed: int = 0,
+    seed: Optional[int] = None,
     repetitions: Optional[int] = None,
     workers: Optional[int] = None,
     batch_size: Optional[int] = None,
     checkpoint_dir=None,
     resume: bool = False,
+    *,
+    execution: Optional[ExecutionConfig] = None,
 ) -> ResultTable:
     """Fig. 10b — drone flight distance under weight faults, mitigation on vs off.
 
@@ -119,8 +139,17 @@ def run_drone_anomaly_mitigation(
     stay scalar behind it (no vectorized implementation), so batches fall
     back to scalar execution with unchanged outcomes.
     """
-    repetitions = repetitions or config.repetitions
-    runner = make_runner(workers, batch_size)
+    execution = resolve_execution(
+        execution,
+        seed=seed,
+        repetitions=repetitions,
+        workers=workers,
+        batch_size=batch_size,
+        checkpoint_dir=checkpoint_dir,
+        resume=resume,
+    )
+    seed = execution.seed
+    repetitions = execution.resolve_repetitions(config.repetitions)
     bundle = build_drone_bundle(config, seed=seed)
 
     table = ResultTable(title="Fig10b drone anomaly-detection mitigation")
@@ -150,9 +179,7 @@ def run_drone_anomaly_mitigation(
             result = run_campaign(
                 Campaign(f"fig10b-{label}-ber{ber}", repetitions, seed=seed + 2),
                 trial,
-                runner=runner,
-                checkpoint_dir=checkpoint_dir,
-                resume=resume,
+                execution=execution,
             )
             table.add(
                 mitigation=mitigation,
@@ -161,3 +188,43 @@ def run_drone_anomaly_mitigation(
                 repetitions=repetitions,
             )
     return table
+
+
+# --------------------------------------------------------------------------- #
+# Declarative specs
+# --------------------------------------------------------------------------- #
+_MARGIN_PARAM = ParamSpec(
+    "margin", float, 0.1, help="range-detector margin around the profiled bounds"
+)
+
+
+@register_experiment(
+    "fig10.gridworld",
+    description="Fig. 10a — Grid World NN inference success rate with and "
+    "without range-based anomaly detection",
+    params=(FAST_PARAM, _MARGIN_PARAM),
+    batched=True,
+)
+def _gridworld_anomaly_spec(
+    execution: ExecutionConfig, *, fast: bool, margin: float
+) -> ResultTable:
+    config = grid_config_for("nn", fast, scale=execution.scale)
+    return run_gridworld_anomaly_mitigation(
+        config, grid_ber_sweep(execution.scale), margin=margin, execution=execution
+    )
+
+
+@register_experiment(
+    "fig10.drone",
+    description="Fig. 10b — drone flight distance under weight faults with "
+    "and without range-based anomaly detection",
+    params=(FAST_PARAM, _MARGIN_PARAM),
+    batched=True,
+)
+def _drone_anomaly_spec(
+    execution: ExecutionConfig, *, fast: bool, margin: float
+) -> ResultTable:
+    config = drone_config_for(fast, scale=execution.scale)
+    return run_drone_anomaly_mitigation(
+        config, drone_ber_sweep(execution.scale), margin=margin, execution=execution
+    )

@@ -13,9 +13,9 @@ from typing import Iterable, List, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.api.execution import ExecutionConfig, resolve_execution
 from repro.core.campaign import Campaign, TrialOutcome
 from repro.core.injector import PermanentTrainingFaultHook, TransientTrainingFaultHook
-from repro.core.runner import make_runner
 from repro.core.sites import BufferSelector
 from repro.experiments.common import (
     evaluate_grid_policy,
@@ -24,7 +24,16 @@ from repro.experiments.common import (
     train_grid_nn,
     train_tabular,
 )
-from repro.experiments.config import GridNNConfig, GridTabularConfig
+from repro.experiments.config import (
+    APPROACH_PARAM,
+    FAST_PARAM,
+    GridNNConfig,
+    GridTabularConfig,
+    grid_ber_sweep,
+    grid_config_for,
+    injection_episodes as injection_episode_grid,
+)
+from repro.experiments.registry import register_experiment
 from repro.io.results import ResultTable
 from repro.quant.statistics import bit_level_stats
 from repro.rl.trainer import TrainingHooks
@@ -60,16 +69,28 @@ def run_transient_training_heatmap(
     config: GridConfig,
     bit_error_rates: Sequence[float],
     injection_episodes: Sequence[int],
-    seed: int = 0,
+    seed: Optional[int] = None,
     repetitions: Optional[int] = None,
     workers: Optional[int] = None,
     checkpoint_dir=None,
     resume: bool = False,
+    *,
+    batch_size: Optional[int] = None,
+    execution: Optional[ExecutionConfig] = None,
 ) -> ResultTable:
     """Success rate after training with a transient fault at each (BER, episode)."""
+    execution = resolve_execution(
+        execution,
+        seed=seed,
+        repetitions=repetitions,
+        workers=workers,
+        batch_size=batch_size,
+        checkpoint_dir=checkpoint_dir,
+        resume=resume,
+    )
+    seed = execution.seed
     approach = "nn" if isinstance(config, GridNNConfig) else "tabular"
-    repetitions = repetitions or config.repetitions
-    runner = make_runner(workers)
+    repetitions = execution.resolve_repetitions(config.repetitions)
     table = ResultTable(title=f"Fig2 transient training heatmap ({approach})")
     for ber in bit_error_rates:
         for episode in injection_episodes:
@@ -87,9 +108,7 @@ def run_transient_training_heatmap(
             campaign = Campaign(
                 f"fig2-{approach}-transient-ber{ber}-ep{episode}", repetitions, seed=seed
             )
-            result = run_campaign(
-                campaign, trial, runner=runner, checkpoint_dir=checkpoint_dir, resume=resume
-            )
+            result = run_campaign(campaign, trial, execution=execution)
             table.add(
                 approach=approach,
                 fault_type="transient",
@@ -104,16 +123,28 @@ def run_transient_training_heatmap(
 def run_permanent_training_sweep(
     config: GridConfig,
     bit_error_rates: Sequence[float],
-    seed: int = 0,
+    seed: Optional[int] = None,
     repetitions: Optional[int] = None,
     workers: Optional[int] = None,
     checkpoint_dir=None,
     resume: bool = False,
+    *,
+    batch_size: Optional[int] = None,
+    execution: Optional[ExecutionConfig] = None,
 ) -> ResultTable:
     """Success rate after training under stuck-at-0 / stuck-at-1 faults."""
+    execution = resolve_execution(
+        execution,
+        seed=seed,
+        repetitions=repetitions,
+        workers=workers,
+        batch_size=batch_size,
+        checkpoint_dir=checkpoint_dir,
+        resume=resume,
+    )
+    seed = execution.seed
     approach = "nn" if isinstance(config, GridNNConfig) else "tabular"
-    repetitions = repetitions or config.repetitions
-    runner = make_runner(workers)
+    repetitions = execution.resolve_repetitions(config.repetitions)
     table = ResultTable(title=f"Fig2 permanent training sweep ({approach})")
     for stuck_value in (0, 1):
         for ber in bit_error_rates:
@@ -129,9 +160,7 @@ def run_permanent_training_sweep(
             campaign = Campaign(
                 f"fig2-{approach}-sa{stuck_value}-ber{ber}", repetitions, seed=seed
             )
-            result = run_campaign(
-                campaign, trial, runner=runner, checkpoint_dir=checkpoint_dir, resume=resume
-            )
+            result = run_campaign(campaign, trial, execution=execution)
             table.add(
                 approach=approach,
                 fault_type=f"stuck-at-{stuck_value}",
@@ -187,6 +216,42 @@ def run_value_histograms(
         max_value=hi,
     )
     return table
+
+
+# --------------------------------------------------------------------------- #
+# Declarative specs
+# --------------------------------------------------------------------------- #
+@register_experiment(
+    "fig2.transient_heatmap",
+    description="Fig. 2a/2c — success rate after a transient training fault "
+    "at each (BER, injection episode)",
+    params=(APPROACH_PARAM, FAST_PARAM),
+)
+def _transient_heatmap_spec(
+    execution: ExecutionConfig, *, approach: str, fast: bool
+) -> ResultTable:
+    config = grid_config_for(approach, fast, scale=execution.scale)
+    return run_transient_training_heatmap(
+        config,
+        grid_ber_sweep(execution.scale),
+        injection_episode_grid(config.episodes, execution.scale),
+        execution=execution,
+    )
+
+
+@register_experiment(
+    "fig2.permanent_sweep",
+    description="Fig. 2a/2c stuck-at columns — success rate after training "
+    "under stuck-at-0/1 faults",
+    params=(APPROACH_PARAM, FAST_PARAM),
+)
+def _permanent_sweep_spec(
+    execution: ExecutionConfig, *, approach: str, fast: bool
+) -> ResultTable:
+    config = grid_config_for(approach, fast, scale=execution.scale)
+    return run_permanent_training_sweep(
+        config, grid_ber_sweep(execution.scale), execution=execution
+    )
 
 
 def heatmap_matrix(

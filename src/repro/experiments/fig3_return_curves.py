@@ -15,9 +15,17 @@ from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.api.execution import ExecutionConfig, resolve_execution
 from repro.core.injector import PermanentTrainingFaultHook, TransientTrainingFaultHook
 from repro.experiments.common import train_grid_nn, train_tabular
-from repro.experiments.config import GridNNConfig, GridTabularConfig
+from repro.experiments.config import (
+    APPROACH_PARAM,
+    FAST_PARAM,
+    GridNNConfig,
+    GridTabularConfig,
+    grid_config_for,
+)
+from repro.experiments.registry import register_experiment
 from repro.io.results import SeriesResult
 from repro.rl.trainer import TrainingHooks
 
@@ -76,10 +84,18 @@ def default_scenarios(total_episodes: int, approach: str) -> List[FaultScenario]
 def run_return_curves(
     config: GridConfig,
     scenarios: Optional[Sequence[FaultScenario]] = None,
-    seed: int = 0,
+    seed: Optional[int] = None,
     smoothing_window: int = 25,
+    *,
+    execution: Optional[ExecutionConfig] = None,
 ) -> SeriesResult:
-    """Train once per scenario and return the smoothed cumulative-return curves."""
+    """Train once per scenario and return the smoothed cumulative-return curves.
+
+    There is no campaign here (one training run per scenario), so only the
+    ``seed`` of an :class:`~repro.api.execution.ExecutionConfig` is used.
+    """
+    execution = resolve_execution(execution, seed=seed)
+    seed = execution.seed
     approach = "nn" if isinstance(config, GridNNConfig) else "tabular"
     scenarios = list(
         scenarios if scenarios is not None else default_scenarios(config.episodes, approach)
@@ -100,6 +116,22 @@ def run_return_curves(
         # All runs have the same episode count, so the smoothed lengths match.
         result.add_series(scenario.label, smoothed.tolist())
     return result
+
+
+# --------------------------------------------------------------------------- #
+# Declarative specs
+# --------------------------------------------------------------------------- #
+@register_experiment(
+    "fig3.return_curves",
+    description="Fig. 3 — per-episode cumulative-return curves under example "
+    "transient and stuck-at fault scenarios",
+    params=(APPROACH_PARAM, FAST_PARAM),
+)
+def _return_curves_spec(
+    execution: ExecutionConfig, *, approach: str, fast: bool
+) -> SeriesResult:
+    config = grid_config_for(approach, fast, scale=execution.scale)
+    return run_return_curves(config, execution=execution)
 
 
 def recovery_episodes(

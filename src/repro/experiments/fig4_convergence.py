@@ -16,9 +16,9 @@ from typing import Optional, Sequence, Union
 
 import numpy as np
 
+from repro.api.execution import ExecutionConfig, resolve_execution
 from repro.core.campaign import Campaign, TrialOutcome
 from repro.core.injector import PermanentTrainingFaultHook, TransientTrainingFaultHook
-from repro.core.runner import make_runner
 from repro.experiments.common import (
     evaluate_grid_policy,
     greedy_policy,
@@ -26,7 +26,15 @@ from repro.experiments.common import (
     train_grid_nn,
     train_tabular,
 )
-from repro.experiments.config import GridNNConfig, GridTabularConfig
+from repro.experiments.config import (
+    APPROACH_PARAM,
+    FAST_PARAM,
+    GridNNConfig,
+    GridTabularConfig,
+    grid_ber_sweep,
+    grid_config_for,
+)
+from repro.experiments.registry import register_experiment
 from repro.io.results import ResultTable
 
 __all__ = ["run_transient_convergence", "run_permanent_extra_training"]
@@ -47,11 +55,14 @@ def run_transient_convergence(
     extra_episodes: Optional[int] = None,
     convergence_window: int = 50,
     convergence_threshold: float = 0.9,
-    seed: int = 0,
+    seed: Optional[int] = None,
     repetitions: Optional[int] = None,
     workers: Optional[int] = None,
     checkpoint_dir=None,
     resume: bool = False,
+    *,
+    batch_size: Optional[int] = None,
+    execution: Optional[ExecutionConfig] = None,
 ) -> ResultTable:
     """Episodes needed to converge back after a late transient fault (Fig. 4a/4c).
 
@@ -59,12 +70,21 @@ def run_transient_convergence(
     length; training then continues for ``extra_episodes`` more episodes and
     the convergence point is measured on the post-injection success history.
     """
+    execution = resolve_execution(
+        execution,
+        seed=seed,
+        repetitions=repetitions,
+        workers=workers,
+        batch_size=batch_size,
+        checkpoint_dir=checkpoint_dir,
+        resume=resume,
+    )
+    seed = execution.seed
     approach = "nn" if isinstance(config, GridNNConfig) else "tabular"
-    repetitions = repetitions or config.repetitions
+    repetitions = execution.resolve_repetitions(config.repetitions)
     inject_episode = int(config.episodes * injection_fraction)
     extra = extra_episodes if extra_episodes is not None else config.episodes
     total_episodes = inject_episode + extra
-    runner = make_runner(workers)
     table = ResultTable(title=f"Fig4 transient convergence ({approach})")
 
     for ber in bit_error_rates:
@@ -86,9 +106,7 @@ def run_transient_convergence(
             )
 
         campaign = Campaign(f"fig4-{approach}-transient-ber{ber}", repetitions, seed=seed)
-        result = run_campaign(
-            campaign, trial, runner=runner, checkpoint_dir=checkpoint_dir, resume=resume
-        )
+        result = run_campaign(campaign, trial, execution=execution)
         table.add(
             approach=approach,
             bit_error_rate=ber,
@@ -117,16 +135,28 @@ def run_permanent_extra_training(
     config: GridConfig,
     bit_error_rates: Sequence[float],
     extra_episode_grid: Sequence[int] = (1000, 2000),
-    seed: int = 0,
+    seed: Optional[int] = None,
     repetitions: Optional[int] = None,
     workers: Optional[int] = None,
     checkpoint_dir=None,
     resume: bool = False,
+    *,
+    batch_size: Optional[int] = None,
+    execution: Optional[ExecutionConfig] = None,
 ) -> ResultTable:
     """Success rate after extended training under stuck-at faults (Fig. 4b/4d)."""
+    execution = resolve_execution(
+        execution,
+        seed=seed,
+        repetitions=repetitions,
+        workers=workers,
+        batch_size=batch_size,
+        checkpoint_dir=checkpoint_dir,
+        resume=resume,
+    )
+    seed = execution.seed
     approach = "nn" if isinstance(config, GridNNConfig) else "tabular"
-    repetitions = repetitions or config.repetitions
-    runner = make_runner(workers)
+    repetitions = execution.resolve_repetitions(config.repetitions)
     table = ResultTable(title=f"Fig4 permanent extra training ({approach})")
 
     for stuck_value in (0, 1):
@@ -154,9 +184,7 @@ def run_permanent_extra_training(
                     repetitions,
                     seed=seed,
                 )
-                result = run_campaign(
-                    campaign, trial, runner=runner, checkpoint_dir=checkpoint_dir, resume=resume
-                )
+                result = run_campaign(campaign, trial, execution=execution)
                 table.add(
                     approach=approach,
                     fault_type=f"stuck-at-{stuck_value}",
@@ -166,3 +194,36 @@ def run_permanent_extra_training(
                     repetitions=repetitions,
                 )
     return table
+
+
+# --------------------------------------------------------------------------- #
+# Declarative specs
+# --------------------------------------------------------------------------- #
+@register_experiment(
+    "fig4.transient_convergence",
+    description="Fig. 4a/4c — episodes needed to converge back after a late "
+    "transient training fault, per BER",
+    params=(APPROACH_PARAM, FAST_PARAM),
+)
+def _transient_convergence_spec(
+    execution: ExecutionConfig, *, approach: str, fast: bool
+) -> ResultTable:
+    config = grid_config_for(approach, fast, scale=execution.scale)
+    return run_transient_convergence(
+        config, grid_ber_sweep(execution.scale), execution=execution
+    )
+
+
+@register_experiment(
+    "fig4.permanent_extra_training",
+    description="Fig. 4b/4d — success rate after extended training under "
+    "stuck-at faults",
+    params=(APPROACH_PARAM, FAST_PARAM),
+)
+def _permanent_extra_training_spec(
+    execution: ExecutionConfig, *, approach: str, fast: bool
+) -> ResultTable:
+    config = grid_config_for(approach, fast, scale=execution.scale)
+    return run_permanent_extra_training(
+        config, grid_ber_sweep(execution.scale), execution=execution
+    )

@@ -29,10 +29,10 @@ from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.api.execution import ExecutionConfig, resolve_execution
 from repro.core.campaign import Campaign, TrialOutcome
 from repro.core.evaluator import BatchedEvaluator
 from repro.core.fault_models import FaultModel, StuckAtFault, TransientBitFlip
-from repro.core.runner import make_runner
 from repro.core.sites import apply_patterns_stacked
 from repro.experiments.common import (
     greedy_policy,
@@ -40,7 +40,15 @@ from repro.experiments.common import (
     train_grid_nn,
     train_tabular,
 )
-from repro.experiments.config import GridNNConfig, GridTabularConfig
+from repro.experiments.config import (
+    APPROACH_PARAM,
+    FAST_PARAM,
+    GridNNConfig,
+    GridTabularConfig,
+    grid_ber_sweep,
+    grid_config_for,
+)
+from repro.experiments.registry import ParamSpec, register_experiment
 from repro.io.results import ResultTable
 from repro.nn.buffers import QuantizedExecutor
 from repro.rl.dqn import DQNAgent
@@ -336,13 +344,15 @@ def run_inference_fault_sweep(
     config: GridConfig,
     bit_error_rates: Sequence[float],
     fault_modes: Sequence[str] = INFERENCE_FAULT_MODES,
-    seed: int = 0,
+    seed: Optional[int] = None,
     repetitions: Optional[int] = None,
     episodes_per_trial: int = 5,
     workers: Optional[int] = None,
     batch_size: Optional[int] = None,
     checkpoint_dir=None,
     resume: bool = False,
+    *,
+    execution: Optional[ExecutionConfig] = None,
 ) -> ResultTable:
     """Success rate vs BER for each inference fault mode (Fig. 5a / 5b).
 
@@ -352,12 +362,21 @@ def run_inference_fault_sweep(
     out over a process pool.  All engine combinations produce bit-identical
     tables for the same seed.
     """
+    execution = resolve_execution(
+        execution,
+        seed=seed,
+        repetitions=repetitions,
+        workers=workers,
+        batch_size=batch_size,
+        checkpoint_dir=checkpoint_dir,
+        resume=resume,
+    )
+    seed = execution.seed
     for mode in fault_modes:
         if mode not in INFERENCE_FAULT_MODES:
             raise ValueError(f"unknown fault mode {mode!r}; choose from {INFERENCE_FAULT_MODES}")
     approach = "nn" if isinstance(config, GridNNConfig) else "tabular"
-    repetitions = repetitions or config.repetitions
-    runner = make_runner(workers, batch_size)
+    repetitions = execution.resolve_repetitions(config.repetitions)
 
     rng = np.random.default_rng(seed)
     if approach == "nn":
@@ -390,9 +409,7 @@ def run_inference_fault_sweep(
             campaign = Campaign(
                 f"fig5-{approach}-{mode}-ber{ber}", repetitions, seed=seed + 1
             )
-            result = run_campaign(
-                campaign, trial, runner=runner, checkpoint_dir=checkpoint_dir, resume=resume
-            )
+            result = run_campaign(campaign, trial, execution=execution)
             table.add(
                 approach=approach,
                 fault_mode=mode,
@@ -401,3 +418,35 @@ def run_inference_fault_sweep(
                 repetitions=repetitions,
             )
     return table
+
+
+# --------------------------------------------------------------------------- #
+# Declarative specs
+# --------------------------------------------------------------------------- #
+@register_experiment(
+    "fig5.inference",
+    description="Fig. 5a/5b — success rate vs BER per inference fault mode "
+    "(transient-1 / transient-M / stuck-at-0 / stuck-at-1)",
+    params=(
+        APPROACH_PARAM,
+        FAST_PARAM,
+        ParamSpec(
+            "episodes_per_trial",
+            int,
+            5,
+            help="inference episodes evaluated per campaign trial",
+            minimum=1,
+        ),
+    ),
+    batched=True,
+)
+def _inference_spec(
+    execution: ExecutionConfig, *, approach: str, fast: bool, episodes_per_trial: int
+) -> ResultTable:
+    config = grid_config_for(approach, fast, scale=execution.scale)
+    return run_inference_fault_sweep(
+        config,
+        grid_ber_sweep(execution.scale),
+        episodes_per_trial=episodes_per_trial,
+        execution=execution,
+    )

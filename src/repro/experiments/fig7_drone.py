@@ -16,6 +16,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.api.execution import ExecutionConfig, resolve_execution
 from repro.core.campaign import Campaign, TrialOutcome
 from repro.core.fault_models import FaultModel, StuckAtFault, TransientBitFlip
 from repro.core.injector import (
@@ -25,7 +26,6 @@ from repro.core.injector import (
     TransientTrainingFaultHook,
     inject_weight_faults,
 )
-from repro.core.runner import make_runner
 from repro.core.sites import BufferSelector
 from repro.experiments.common import (
     DronePolicyBundle,
@@ -33,7 +33,13 @@ from repro.experiments.common import (
     evaluate_drone_msf,
     run_campaign,
 )
-from repro.experiments.config import DroneConfig
+from repro.experiments.config import (
+    FAST_PARAM,
+    DroneConfig,
+    drone_ber_sweep,
+    drone_config_for,
+)
+from repro.experiments.registry import register_experiment
 from repro.io.results import ResultTable
 from repro.nn.buffers import QuantizedExecutor
 from repro.policies.c3f2 import C3F2_LAYER_NAMES
@@ -92,15 +98,27 @@ def run_environment_comparison(
     config: DroneConfig,
     bit_error_rates: Sequence[float],
     environments: Sequence[str] = ("indoor-long", "indoor-vanleer"),
-    seed: int = 0,
+    seed: Optional[int] = None,
     repetitions: Optional[int] = None,
     workers: Optional[int] = None,
     checkpoint_dir=None,
     resume: bool = False,
+    *,
+    batch_size: Optional[int] = None,
+    execution: Optional[ExecutionConfig] = None,
 ) -> ResultTable:
     """Fig. 7b — MSF vs BER for transient weight faults in each environment."""
-    repetitions = repetitions or config.repetitions
-    runner = make_runner(workers)
+    execution = resolve_execution(
+        execution,
+        seed=seed,
+        repetitions=repetitions,
+        workers=workers,
+        batch_size=batch_size,
+        checkpoint_dir=checkpoint_dir,
+        resume=resume,
+    )
+    seed = execution.seed
+    repetitions = execution.resolve_repetitions(config.repetitions)
     bundle = build_drone_bundle(config, seed=seed)
     table = ResultTable(title="Fig7b drone inference: environment comparison")
     for env_name in environments:
@@ -114,9 +132,7 @@ def run_environment_comparison(
             result = run_campaign(
                 Campaign(f"fig7b-{env_name}-ber{ber}", repetitions, seed=seed + 1),
                 trial,
-                runner=runner,
-                checkpoint_dir=checkpoint_dir,
-                resume=resume,
+                execution=execution,
             )
             table.add(
                 environment=env_name,
@@ -130,15 +146,27 @@ def run_environment_comparison(
 def run_fault_location_sweep(
     config: DroneConfig,
     bit_error_rates: Sequence[float],
-    seed: int = 0,
+    seed: Optional[int] = None,
     repetitions: Optional[int] = None,
     workers: Optional[int] = None,
     checkpoint_dir=None,
     resume: bool = False,
+    *,
+    batch_size: Optional[int] = None,
+    execution: Optional[ExecutionConfig] = None,
 ) -> ResultTable:
     """Fig. 7c — MSF vs BER per fault location (input / weight / act-T / act-P)."""
-    repetitions = repetitions or config.repetitions
-    runner = make_runner(workers)
+    execution = resolve_execution(
+        execution,
+        seed=seed,
+        repetitions=repetitions,
+        workers=workers,
+        batch_size=batch_size,
+        checkpoint_dir=checkpoint_dir,
+        resume=resume,
+    )
+    seed = execution.seed
+    repetitions = execution.resolve_repetitions(config.repetitions)
     bundle = build_drone_bundle(config, seed=seed)
     table = ResultTable(title="Fig7c drone inference: fault location")
     locations = ("input", "weight", "activation-transient", "activation-permanent")
@@ -174,9 +202,7 @@ def run_fault_location_sweep(
             result = run_campaign(
                 Campaign(f"fig7c-{location}-ber{ber}", repetitions, seed=seed + 2),
                 trial,
-                runner=runner,
-                checkpoint_dir=checkpoint_dir,
-                resume=resume,
+                execution=execution,
             )
             table.add(
                 location=location,
@@ -191,15 +217,27 @@ def run_layer_sweep(
     config: DroneConfig,
     bit_error_rates: Sequence[float],
     layers: Sequence[str] = C3F2_LAYER_NAMES,
-    seed: int = 0,
+    seed: Optional[int] = None,
     repetitions: Optional[int] = None,
     workers: Optional[int] = None,
     checkpoint_dir=None,
     resume: bool = False,
+    *,
+    batch_size: Optional[int] = None,
+    execution: Optional[ExecutionConfig] = None,
 ) -> ResultTable:
     """Fig. 7d — MSF vs BER with transient weight faults confined to one layer."""
-    repetitions = repetitions or config.repetitions
-    runner = make_runner(workers)
+    execution = resolve_execution(
+        execution,
+        seed=seed,
+        repetitions=repetitions,
+        workers=workers,
+        batch_size=batch_size,
+        checkpoint_dir=checkpoint_dir,
+        resume=resume,
+    )
+    seed = execution.seed
+    repetitions = execution.resolve_repetitions(config.repetitions)
     bundle = build_drone_bundle(config, seed=seed)
     table = ResultTable(title="Fig7d drone inference: per-layer sensitivity")
     for layer in layers:
@@ -217,9 +255,7 @@ def run_layer_sweep(
             result = run_campaign(
                 Campaign(f"fig7d-{layer}-ber{ber}", repetitions, seed=seed + 3),
                 trial,
-                runner=runner,
-                checkpoint_dir=checkpoint_dir,
-                resume=resume,
+                execution=execution,
             )
             table.add(
                 layer=layer,
@@ -234,15 +270,27 @@ def run_datatype_sweep(
     config: DroneConfig,
     bit_error_rates: Sequence[float],
     qformats: Sequence[QFormat] = (Q16_NARROW, Q16_MID, Q16_WIDE),
-    seed: int = 0,
+    seed: Optional[int] = None,
     repetitions: Optional[int] = None,
     workers: Optional[int] = None,
     checkpoint_dir=None,
     resume: bool = False,
+    *,
+    batch_size: Optional[int] = None,
+    execution: Optional[ExecutionConfig] = None,
 ) -> ResultTable:
     """Fig. 7e — MSF vs BER for each fixed-point weight data type."""
-    repetitions = repetitions or config.repetitions
-    runner = make_runner(workers)
+    execution = resolve_execution(
+        execution,
+        seed=seed,
+        repetitions=repetitions,
+        workers=workers,
+        batch_size=batch_size,
+        checkpoint_dir=checkpoint_dir,
+        resume=resume,
+    )
+    seed = execution.seed
+    repetitions = execution.resolve_repetitions(config.repetitions)
     bundle = build_drone_bundle(config, seed=seed)
     table = ResultTable(title="Fig7e drone inference: data type")
     for qformat in qformats:
@@ -260,9 +308,7 @@ def run_datatype_sweep(
             result = run_campaign(
                 Campaign(f"fig7e-{qformat}-ber{ber}", repetitions, seed=seed + 4),
                 trial,
-                runner=runner,
-                checkpoint_dir=checkpoint_dir,
-                resume=resume,
+                execution=execution,
             )
             table.add(
                 qformat=str(qformat),
@@ -320,15 +366,27 @@ def run_drone_training_faults(
     config: DroneConfig,
     bit_error_rates: Sequence[float],
     injection_episodes: Optional[Sequence[int]] = None,
-    seed: int = 0,
+    seed: Optional[int] = None,
     repetitions: Optional[int] = None,
     workers: Optional[int] = None,
     checkpoint_dir=None,
     resume: bool = False,
+    *,
+    batch_size: Optional[int] = None,
+    execution: Optional[ExecutionConfig] = None,
 ) -> ResultTable:
     """Fig. 7a — MSF after online fine-tuning with transient / stuck-at faults."""
-    repetitions = repetitions or config.repetitions
-    runner = make_runner(workers)
+    execution = resolve_execution(
+        execution,
+        seed=seed,
+        repetitions=repetitions,
+        workers=workers,
+        batch_size=batch_size,
+        checkpoint_dir=checkpoint_dir,
+        resume=resume,
+    )
+    seed = execution.seed
+    repetitions = execution.resolve_repetitions(config.repetitions)
     bundle = build_drone_bundle(config, seed=seed)
     if injection_episodes is None:
         injection_episodes = [0, max(0, config.finetune_episodes - 1)]
@@ -353,9 +411,7 @@ def run_drone_training_faults(
             result = run_campaign(
                 Campaign(f"fig7a-transient-ber{ber}-ep{episode}", repetitions, seed=seed + 5),
                 trial,
-                runner=runner,
-                checkpoint_dir=checkpoint_dir,
-                resume=resume,
+                execution=execution,
             )
             table.add(
                 fault_type="transient",
@@ -384,9 +440,7 @@ def run_drone_training_faults(
             result = run_campaign(
                 Campaign(f"fig7a-sa{stuck_value}-ber{ber}", repetitions, seed=seed + 6),
                 trial,
-                runner=runner,
-                checkpoint_dir=checkpoint_dir,
-                resume=resume,
+                execution=execution,
             )
             table.add(
                 fault_type=f"stuck-at-{stuck_value}",
@@ -396,3 +450,65 @@ def run_drone_training_faults(
                 repetitions=repetitions,
             )
     return table
+
+
+# --------------------------------------------------------------------------- #
+# Declarative specs
+# --------------------------------------------------------------------------- #
+@register_experiment(
+    "fig7.training_faults",
+    description="Fig. 7a — drone MSF after online fine-tuning under "
+    "transient / stuck-at faults",
+    params=(FAST_PARAM,),
+)
+def _training_faults_spec(execution: ExecutionConfig, *, fast: bool) -> ResultTable:
+    config = drone_config_for(fast, scale=execution.scale)
+    return run_drone_training_faults(
+        config, drone_ber_sweep(execution.scale), execution=execution
+    )
+
+
+@register_experiment(
+    "fig7.environments",
+    description="Fig. 7b — drone inference MSF vs BER per environment",
+    params=(FAST_PARAM,),
+)
+def _environments_spec(execution: ExecutionConfig, *, fast: bool) -> ResultTable:
+    config = drone_config_for(fast, scale=execution.scale)
+    return run_environment_comparison(
+        config, drone_ber_sweep(execution.scale), execution=execution
+    )
+
+
+@register_experiment(
+    "fig7.locations",
+    description="Fig. 7c — drone inference MSF vs BER per fault location",
+    params=(FAST_PARAM,),
+)
+def _locations_spec(execution: ExecutionConfig, *, fast: bool) -> ResultTable:
+    config = drone_config_for(fast, scale=execution.scale)
+    return run_fault_location_sweep(
+        config, drone_ber_sweep(execution.scale), execution=execution
+    )
+
+
+@register_experiment(
+    "fig7.layers",
+    description="Fig. 7d — drone inference MSF vs BER per faulted layer",
+    params=(FAST_PARAM,),
+)
+def _layers_spec(execution: ExecutionConfig, *, fast: bool) -> ResultTable:
+    config = drone_config_for(fast, scale=execution.scale)
+    return run_layer_sweep(config, drone_ber_sweep(execution.scale), execution=execution)
+
+
+@register_experiment(
+    "fig7.datatypes",
+    description="Fig. 7e — drone inference MSF vs BER per fixed-point data type",
+    params=(FAST_PARAM,),
+)
+def _datatypes_spec(execution: ExecutionConfig, *, fast: bool) -> ResultTable:
+    config = drone_config_for(fast, scale=execution.scale)
+    return run_datatype_sweep(
+        config, drone_ber_sweep(execution.scale), execution=execution
+    )

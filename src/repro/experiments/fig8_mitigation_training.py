@@ -14,10 +14,10 @@ from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.api.execution import ExecutionConfig, resolve_execution
 from repro.core.campaign import Campaign, TrialOutcome
 from repro.core.injector import PermanentTrainingFaultHook, TransientTrainingFaultHook
 from repro.core.mitigation.exploration import AdaptiveExplorationController
-from repro.core.runner import make_runner
 from repro.experiments.common import (
     evaluate_grid_policy,
     greedy_policy,
@@ -25,7 +25,16 @@ from repro.experiments.common import (
     train_grid_nn,
     train_tabular,
 )
-from repro.experiments.config import GridNNConfig, GridTabularConfig
+from repro.experiments.config import (
+    APPROACH_PARAM,
+    FAST_PARAM,
+    GridNNConfig,
+    GridTabularConfig,
+    grid_ber_sweep,
+    grid_config_for,
+    injection_episodes as injection_episode_grid,
+)
+from repro.experiments.registry import ParamSpec, register_experiment
 from repro.io.results import ResultTable
 from repro.rl.trainer import TrainingHooks
 
@@ -66,16 +75,28 @@ def run_mitigated_transient_heatmap(
     bit_error_rates: Sequence[float],
     injection_episodes: Sequence[int],
     mitigation: bool = True,
-    seed: int = 0,
+    seed: Optional[int] = None,
     repetitions: Optional[int] = None,
     workers: Optional[int] = None,
     checkpoint_dir=None,
     resume: bool = False,
+    *,
+    batch_size: Optional[int] = None,
+    execution: Optional[ExecutionConfig] = None,
 ) -> ResultTable:
     """Fig. 8 transient heatmap, with or without the mitigation controller."""
+    execution = resolve_execution(
+        execution,
+        seed=seed,
+        repetitions=repetitions,
+        workers=workers,
+        batch_size=batch_size,
+        checkpoint_dir=checkpoint_dir,
+        resume=resume,
+    )
+    seed = execution.seed
     approach = "nn" if isinstance(config, GridNNConfig) else "tabular"
-    repetitions = repetitions or config.repetitions
-    runner = make_runner(workers)
+    repetitions = execution.resolve_repetitions(config.repetitions)
     label = "mitigated" if mitigation else "unmitigated"
     table = ResultTable(title=f"Fig8 transient training with mitigation ({approach}, {label})")
     for ber in bit_error_rates:
@@ -96,9 +117,7 @@ def run_mitigated_transient_heatmap(
                     f"fig8-{approach}-{label}-ber{ber}-ep{episode}", repetitions, seed=seed
                 ),
                 trial,
-                runner=runner,
-                checkpoint_dir=checkpoint_dir,
-                resume=resume,
+                execution=execution,
             )
             table.add(
                 approach=approach,
@@ -116,16 +135,28 @@ def run_mitigated_permanent_sweep(
     config: GridConfig,
     bit_error_rates: Sequence[float],
     mitigation: bool = True,
-    seed: int = 0,
+    seed: Optional[int] = None,
     repetitions: Optional[int] = None,
     workers: Optional[int] = None,
     checkpoint_dir=None,
     resume: bool = False,
+    *,
+    batch_size: Optional[int] = None,
+    execution: Optional[ExecutionConfig] = None,
 ) -> ResultTable:
     """Fig. 8 stuck-at columns, with or without the mitigation controller."""
+    execution = resolve_execution(
+        execution,
+        seed=seed,
+        repetitions=repetitions,
+        workers=workers,
+        batch_size=batch_size,
+        checkpoint_dir=checkpoint_dir,
+        resume=resume,
+    )
+    seed = execution.seed
     approach = "nn" if isinstance(config, GridNNConfig) else "tabular"
-    repetitions = repetitions or config.repetitions
-    runner = make_runner(workers)
+    repetitions = execution.resolve_repetitions(config.repetitions)
     label = "mitigated" if mitigation else "unmitigated"
     table = ResultTable(title=f"Fig8 permanent training with mitigation ({approach}, {label})")
     for stuck_value in (0, 1):
@@ -146,9 +177,7 @@ def run_mitigated_permanent_sweep(
                     f"fig8-{approach}-{label}-sa{stuck_value}-ber{ber}", repetitions, seed=seed
                 ),
                 trial,
-                runner=runner,
-                checkpoint_dir=checkpoint_dir,
-                resume=resume,
+                execution=execution,
             )
             table.add(
                 approach=approach,
@@ -159,3 +188,50 @@ def run_mitigated_permanent_sweep(
                 repetitions=repetitions,
             )
     return table
+
+
+# --------------------------------------------------------------------------- #
+# Declarative specs
+# --------------------------------------------------------------------------- #
+_MITIGATION_PARAM = ParamSpec(
+    "mitigation",
+    bool,
+    True,
+    help="run with the adaptive exploration controller hooked into training",
+)
+
+
+@register_experiment(
+    "fig8.transient_heatmap",
+    description="Fig. 8 — Fig. 2 transient heatmap repeated with the adaptive "
+    "exploration mitigation",
+    params=(APPROACH_PARAM, FAST_PARAM, _MITIGATION_PARAM),
+)
+def _mitigated_transient_spec(
+    execution: ExecutionConfig, *, approach: str, fast: bool, mitigation: bool
+) -> ResultTable:
+    config = grid_config_for(approach, fast, scale=execution.scale)
+    return run_mitigated_transient_heatmap(
+        config,
+        grid_ber_sweep(execution.scale),
+        injection_episode_grid(config.episodes, execution.scale),
+        mitigation=mitigation,
+        execution=execution,
+    )
+
+
+@register_experiment(
+    "fig8.permanent_sweep",
+    description="Fig. 8 stuck-at columns with the adaptive exploration mitigation",
+    params=(APPROACH_PARAM, FAST_PARAM, _MITIGATION_PARAM),
+)
+def _mitigated_permanent_spec(
+    execution: ExecutionConfig, *, approach: str, fast: bool, mitigation: bool
+) -> ResultTable:
+    config = grid_config_for(approach, fast, scale=execution.scale)
+    return run_mitigated_permanent_sweep(
+        config,
+        grid_ber_sweep(execution.scale),
+        mitigation=mitigation,
+        execution=execution,
+    )

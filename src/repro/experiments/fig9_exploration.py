@@ -16,12 +16,20 @@ from typing import Optional, Sequence, Union
 
 import numpy as np
 
+from repro.api.execution import ExecutionConfig, resolve_execution
 from repro.core.campaign import Campaign, TrialOutcome
 from repro.core.injector import PermanentTrainingFaultHook, TransientTrainingFaultHook
-from repro.core.runner import make_runner
 from repro.experiments.common import run_campaign, train_grid_nn, train_tabular
-from repro.experiments.config import GridNNConfig, GridTabularConfig
+from repro.experiments.config import (
+    APPROACH_PARAM,
+    FAST_PARAM,
+    GridNNConfig,
+    GridTabularConfig,
+    grid_ber_sweep,
+    grid_config_for,
+)
 from repro.experiments.fig8_mitigation_training import make_controller
+from repro.experiments.registry import register_experiment
 from repro.io.results import ResultTable
 
 __all__ = ["run_exploration_adjustment_sweep", "run_recovery_speed_correlation"]
@@ -39,12 +47,14 @@ def run_exploration_adjustment_sweep(
     config: GridConfig,
     bit_error_rates: Sequence[float],
     fault_types: Sequence[str] = ("transient", "stuck-at-0", "stuck-at-1"),
-    seed: int = 0,
+    seed: Optional[int] = None,
     repetitions: Optional[int] = None,
     workers: Optional[int] = None,
     batch_size: Optional[int] = None,
     checkpoint_dir=None,
     resume: bool = False,
+    *,
+    execution: Optional[ExecutionConfig] = None,
 ) -> ResultTable:
     """Fig. 9a/9b — adjusted exploration ratio and episodes to steady exploitation.
 
@@ -52,9 +62,18 @@ def run_exploration_adjustment_sweep(
     here have no vectorized implementation, so batches fall back to scalar
     execution (outcomes are unchanged either way).
     """
+    execution = resolve_execution(
+        execution,
+        seed=seed,
+        repetitions=repetitions,
+        workers=workers,
+        batch_size=batch_size,
+        checkpoint_dir=checkpoint_dir,
+        resume=resume,
+    )
+    seed = execution.seed
     approach = "nn" if isinstance(config, GridNNConfig) else "tabular"
-    repetitions = repetitions or config.repetitions
-    runner = make_runner(workers, batch_size)
+    repetitions = execution.resolve_repetitions(config.repetitions)
     inject_episode = config.episodes // 2
     table = ResultTable(title=f"Fig9 exploration adjustment ({approach})")
 
@@ -96,9 +115,7 @@ def run_exploration_adjustment_sweep(
             result = run_campaign(
                 Campaign(f"fig9-{approach}-{fault_type}-ber{ber}", repetitions, seed=seed),
                 trial,
-                runner=runner,
-                checkpoint_dir=checkpoint_dir,
-                resume=resume,
+                execution=execution,
             )
             table.add(
                 approach=approach,
@@ -124,7 +141,7 @@ def run_recovery_speed_correlation(
     config: GridConfig,
     exploration_boosts: Sequence[float] = (0.25, 0.5, 0.75),
     bit_error_rate: float = 0.006,
-    seed: int = 0,
+    seed: Optional[int] = None,
     repetitions: Optional[int] = None,
     recovery_threshold: float = 0.8,
     recovery_window: int = 25,
@@ -132,6 +149,8 @@ def run_recovery_speed_correlation(
     batch_size: Optional[int] = None,
     checkpoint_dir=None,
     resume: bool = False,
+    *,
+    execution: Optional[ExecutionConfig] = None,
 ) -> ResultTable:
     """Fig. 9c — recovery time as a function of the (forced) exploration boost.
 
@@ -139,9 +158,18 @@ def run_recovery_speed_correlation(
     forced to each boost level, and the number of episodes until the windowed
     success rate recovers is measured.
     """
+    execution = resolve_execution(
+        execution,
+        seed=seed,
+        repetitions=repetitions,
+        workers=workers,
+        batch_size=batch_size,
+        checkpoint_dir=checkpoint_dir,
+        resume=resume,
+    )
+    seed = execution.seed
     approach = "nn" if isinstance(config, GridNNConfig) else "tabular"
-    repetitions = repetitions or config.repetitions
-    runner = make_runner(workers, batch_size)
+    repetitions = execution.resolve_repetitions(config.repetitions)
     inject_episode = config.episodes // 2
     table = ResultTable(title=f"Fig9c recovery speed vs exploration ratio ({approach})")
 
@@ -163,9 +191,7 @@ def run_recovery_speed_correlation(
         result = run_campaign(
             Campaign(f"fig9c-{approach}-boost{boost}", repetitions, seed=seed + 7),
             trial,
-            runner=runner,
-            checkpoint_dir=checkpoint_dir,
-            resume=resume,
+            execution=execution,
         )
         table.add(
             approach=approach,
@@ -175,6 +201,39 @@ def run_recovery_speed_correlation(
             repetitions=repetitions,
         )
     return table
+
+
+# --------------------------------------------------------------------------- #
+# Declarative specs
+# --------------------------------------------------------------------------- #
+@register_experiment(
+    "fig9.exploration_adjustment",
+    description="Fig. 9a/9b — adjusted exploration ratio and episodes to "
+    "steady exploitation per fault type and BER",
+    params=(APPROACH_PARAM, FAST_PARAM),
+    batched=True,
+)
+def _exploration_adjustment_spec(
+    execution: ExecutionConfig, *, approach: str, fast: bool
+) -> ResultTable:
+    config = grid_config_for(approach, fast, scale=execution.scale)
+    return run_exploration_adjustment_sweep(
+        config, grid_ber_sweep(execution.scale), execution=execution
+    )
+
+
+@register_experiment(
+    "fig9.recovery_correlation",
+    description="Fig. 9c — recovery time vs forced exploration boost after a "
+    "mid-training transient fault",
+    params=(APPROACH_PARAM, FAST_PARAM),
+    batched=True,
+)
+def _recovery_correlation_spec(
+    execution: ExecutionConfig, *, approach: str, fast: bool
+) -> ResultTable:
+    config = grid_config_for(approach, fast, scale=execution.scale)
+    return run_recovery_speed_correlation(config, execution=execution)
 
 
 def _episodes_to_recover(successes: np.ndarray, window: int, threshold: float) -> Optional[int]:

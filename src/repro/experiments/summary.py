@@ -12,12 +12,20 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
+from repro.api.execution import ExecutionConfig, resolve_execution
 from repro.core.mitigation.anomaly import estimate_runtime_overhead
-from repro.experiments.config import DroneConfig, GridNNConfig
+from repro.experiments.config import (
+    FAST_PARAM,
+    DroneConfig,
+    GridNNConfig,
+    drone_config_for,
+    grid_config_for,
+)
 from repro.experiments.fig10_anomaly import (
     run_drone_anomaly_mitigation,
     run_gridworld_anomaly_mitigation,
 )
+from repro.experiments.registry import register_experiment
 from repro.io.results import ResultTable
 from repro.metrics.navigation import quality_of_flight_improvement
 
@@ -58,30 +66,31 @@ def run_headline_summary(
     drone_config: Optional[DroneConfig] = None,
     grid_bers: Sequence[float] = (0.0, 0.005, 0.01),
     drone_bers: Sequence[float] = (0.0, 1e-3, 1e-2),
-    seed: int = 0,
+    seed: Optional[int] = None,
     workers: Optional[int] = None,
     checkpoint_dir=None,
     resume: bool = False,
+    *,
+    batch_size: Optional[int] = None,
+    execution: Optional[ExecutionConfig] = None,
 ) -> ResultTable:
     """End-to-end headline summary (Sec. 5.2): 2x, +39%, <3% overhead."""
+    execution = resolve_execution(
+        execution,
+        seed=seed,
+        workers=workers,
+        batch_size=batch_size,
+        checkpoint_dir=checkpoint_dir,
+        resume=resume,
+    )
     grid_config = grid_config or GridNNConfig()
     drone_config = drone_config or DroneConfig()
 
     grid_table = run_gridworld_anomaly_mitigation(
-        grid_config,
-        grid_bers,
-        seed=seed,
-        workers=workers,
-        checkpoint_dir=checkpoint_dir,
-        resume=resume,
+        grid_config, grid_bers, execution=execution
     )
     drone_table = run_drone_anomaly_mitigation(
-        drone_config,
-        drone_bers,
-        seed=seed,
-        workers=workers,
-        checkpoint_dir=checkpoint_dir,
-        resume=resume,
+        drone_config, drone_bers, execution=execution
     )
     grid_gains = summarize_mitigation_gains(grid_table, "success_rate")
     drone_gains = summarize_mitigation_gains(drone_table, "mean_safe_flight")
@@ -113,3 +122,20 @@ def run_headline_summary(
         measured=overhead,
     )
     return summary
+
+
+# --------------------------------------------------------------------------- #
+# Declarative specs
+# --------------------------------------------------------------------------- #
+@register_experiment(
+    "summary.headline",
+    description="Sec. 5.2 headline claims — ~2x Grid World success, ~+39% "
+    "drone flight quality, <3% detector overhead",
+    params=(FAST_PARAM,),
+)
+def _headline_spec(execution: ExecutionConfig, *, fast: bool) -> ResultTable:
+    return run_headline_summary(
+        grid_config=grid_config_for("nn", fast, scale=execution.scale),
+        drone_config=drone_config_for(fast, scale=execution.scale),
+        execution=execution,
+    )

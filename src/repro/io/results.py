@@ -24,7 +24,14 @@ from repro.core.campaign import TrialOutcome
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.campaign import Campaign
 
-__all__ = ["ResultRow", "ResultTable", "SeriesResult", "CampaignCheckpoint"]
+__all__ = [
+    "ResultRow",
+    "ResultTable",
+    "SeriesResult",
+    "CampaignCheckpoint",
+    "RESULT_KINDS",
+    "result_kind",
+]
 
 #: A single experiment result row: column name -> value.
 ResultRow = Dict[str, Any]
@@ -64,9 +71,17 @@ class ResultTable:
         ]
         return ResultTable(title=self.title, rows=matched)
 
+    def to_json_dict(self) -> Dict[str, Any]:
+        """JSON-safe dict representation (embeddable in experiment artifacts)."""
+        return {"title": self.title, "rows": self.rows}
+
+    @classmethod
+    def from_json_dict(cls, data: Dict[str, Any]) -> "ResultTable":
+        return cls(title=data["title"], rows=list(data["rows"]))
+
     def to_json(self, path: Optional[Path] = None) -> str:
         """Serialize to JSON; optionally also write to ``path``."""
-        payload = json.dumps({"title": self.title, "rows": self.rows}, indent=2, default=float)
+        payload = json.dumps(self.to_json_dict(), indent=2, default=float)
         if path is not None:
             Path(path).write_text(payload)
         return payload
@@ -82,8 +97,7 @@ class ResultTable:
 
     @classmethod
     def from_json(cls, payload: str) -> "ResultTable":
-        data = json.loads(payload)
-        return cls(title=data["title"], rows=list(data["rows"]))
+        return cls.from_json_dict(json.loads(payload))
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -117,20 +131,49 @@ class SeriesResult:
             table.add(**row)
         return table
 
-    def to_json(self, path: Optional[Path] = None) -> str:
-        payload = json.dumps(
-            {
-                "title": self.title,
-                "x_label": self.x_label,
-                "x_values": self.x_values,
-                "series": self.series,
-            },
-            indent=2,
-            default=float,
+    def to_json_dict(self) -> Dict[str, Any]:
+        """JSON-safe dict representation (embeddable in experiment artifacts)."""
+        return {
+            "title": self.title,
+            "x_label": self.x_label,
+            "x_values": self.x_values,
+            "series": self.series,
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: Dict[str, Any]) -> "SeriesResult":
+        result = cls(
+            title=data["title"],
+            x_label=data["x_label"],
+            x_values=list(data["x_values"]),
         )
+        for name, values in dict(data["series"]).items():
+            result.add_series(name, values)
+        return result
+
+    def to_json(self, path: Optional[Path] = None) -> str:
+        payload = json.dumps(self.to_json_dict(), indent=2, default=float)
         if path is not None:
             Path(path).write_text(payload)
         return payload
+
+    @classmethod
+    def from_json(cls, payload: str) -> "SeriesResult":
+        return cls.from_json_dict(json.loads(payload))
+
+
+#: Tag → result class, used when deserializing embedded artifact results.
+RESULT_KINDS = {"table": ResultTable, "series": SeriesResult}
+
+
+def result_kind(result) -> str:
+    """The serialization tag for a result object (``"table"`` / ``"series"``)."""
+    for kind, cls in RESULT_KINDS.items():
+        if isinstance(result, cls):
+            return kind
+    raise TypeError(
+        f"expected ResultTable or SeriesResult, got {type(result).__name__}"
+    )
 
 
 # --------------------------------------------------------------------------- #

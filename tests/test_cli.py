@@ -1,0 +1,184 @@
+"""Tests for the registry-generated CLI (``python -m repro``).
+
+Golden checks on ``--help`` / ``list`` output, a round-trip of every
+registered spec's flags through ``parse_args`` into an ``ExecutionConfig``
+plus typed parameters, and error-message tests for bad engine flags.
+"""
+
+import pytest
+
+from repro.__main__ import _execution_from_args, build_parser, main
+from repro.api import ExecutionConfig
+from repro.experiments.registry import figures, list_specs, specs_for_figure
+
+
+@pytest.fixture(scope="module")
+def parser():
+    return build_parser()
+
+
+def _param_flags(param):
+    """The CLI argv fragment exercising one spec parameter (non-default)."""
+    flag = "--" + param.name.replace("_", "-")
+    if param.type is bool:
+        return ["--no-" + param.name.replace("_", "-")] if param.default else [flag]
+    if param.choices is not None:
+        value = next(c for c in param.choices if c != param.default)
+        return [flag, str(value)]
+    if param.type is int:
+        return [flag, str(param.default + 1)]
+    if param.type is float:
+        return [flag, str(param.default + 0.5)]
+    return [flag, f"{param.default}x"]
+
+
+class TestHelpAndList:
+    def test_top_level_help_lists_every_figure(self, parser):
+        text = parser.format_help()
+        for figure in figures():
+            assert figure in text
+        assert "list" in text
+
+    def test_subcommand_help_has_execution_and_param_flags(self, parser, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["fig5", "--help"])
+        assert excinfo.value.code == 0
+        text = capsys.readouterr().out
+        for flag in (
+            "--workers",
+            "--batch-size",
+            "--checkpoint-dir",
+            "--resume",
+            "--seed",
+            "--reps",
+            "--out-dir",
+            "--approach",
+            "--fast",
+            "--episodes-per-trial",
+        ):
+            assert flag in text
+        assert "fig5.inference" in text
+
+    def test_bool_default_true_params_become_no_flags(self, parser, capsys):
+        with pytest.raises(SystemExit):
+            main(["fig8", "--help"])
+        assert "--no-mitigation" in capsys.readouterr().out
+
+    def test_list_enumerates_every_spec_with_params(self, capsys):
+        assert main(["list"]) == 0
+        text = capsys.readouterr().out
+        for spec in list_specs():
+            assert spec.name in text
+            for param in spec.params:
+                assert param.name in text
+        assert "[batched]" in text  # batched engines are called out
+        assert "repro.api.run" in text
+
+
+class TestFlagRoundTrip:
+    EXECUTION_ARGV = [
+        "--workers",
+        "2",
+        "--batch-size",
+        "4",
+        "--seed",
+        "7",
+        "--reps",
+        "3",
+        "--resume",
+    ]
+
+    @pytest.mark.parametrize("figure", [f for f in figures()])
+    def test_execution_flags_round_trip(self, parser, figure, tmp_path):
+        argv = [figure] + self.EXECUTION_ARGV + ["--checkpoint-dir", str(tmp_path)]
+        args = parser.parse_args(argv)
+        execution = _execution_from_args(args, parser)
+        assert execution == ExecutionConfig(
+            seed=7,
+            repetitions=3,
+            workers=2,
+            batch_size=4,
+            checkpoint_dir=tmp_path,
+            resume=True,
+        )
+
+    def test_every_spec_param_round_trips(self, parser):
+        for spec in list_specs():
+            argv = [spec.figure]
+            expected = {}
+            for param in spec.params:
+                argv += _param_flags(param)
+                if param.type is bool:
+                    expected[param.name] = not param.default
+                elif param.choices is not None:
+                    expected[param.name] = next(
+                        c for c in param.choices if c != param.default
+                    )
+                elif param.type in (int, float):
+                    expected[param.name] = param.type(
+                        param.default + (1 if param.type is int else 0.5)
+                    )
+                else:
+                    expected[param.name] = f"{param.default}x"
+            args = parser.parse_args(argv)
+            parsed = {p.name: getattr(args, p.name) for p in spec.params}
+            assert parsed == spec.resolve_params(parsed) == expected, spec.name
+
+    def test_defaults_match_spec_defaults(self, parser):
+        for figure in figures():
+            args = parser.parse_args([figure])
+            for spec in specs_for_figure(figure):
+                parsed = {p.name: getattr(args, p.name) for p in spec.params}
+                assert parsed == spec.resolve_params({}), spec.name
+            execution = _execution_from_args(args, parser)
+            assert execution == ExecutionConfig()
+
+
+class TestErrorMessages:
+    @pytest.mark.parametrize(
+        "argv, message",
+        [
+            (["fig5", "--batch-size", "0"], "batch_size must be positive"),
+            (["fig5", "--batch-size", "abc"], "batch_size must be a positive integer"),
+            (["fig5", "--workers", "0"], "workers must be positive"),
+            (["fig5", "--workers", "bogus"], "workers must be a positive integer or 'auto'"),
+            (["fig5", "--reps", "0"], "repetitions must be positive"),
+            (["fig5", "--resume"], "resume=True requires a checkpoint_dir"),
+        ],
+    )
+    def test_bad_engine_flags_report_cleanly(self, argv, message, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv)
+        assert excinfo.value.code == 2
+        assert message in capsys.readouterr().err
+
+    def test_unknown_figure_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["fig99"])
+        assert excinfo.value.code == 2
+
+    def test_bad_choice_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["fig2", "--approach", "quantum"])
+        assert "approach" in capsys.readouterr().err
+
+
+class TestEndToEnd:
+    def test_fig3_runs_and_writes_artifact(self, tmp_path, capsys, monkeypatch):
+        # fig3 is the cheapest real subcommand (one training run per scenario
+        # at the fast preset, no campaigns).  Isolate the engine env knobs so
+        # a developer's exported REPRO_CAMPAIGN_* cannot change the recorded
+        # engine provenance.
+        for var in ("REPRO_CAMPAIGN_WORKERS", "REPRO_CAMPAIGN_BATCH", "REPRO_SCALE"):
+            monkeypatch.delenv(var, raising=False)
+        assert main(["fig3", "--fast", "--out-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Fig3" in out
+        written = list(tmp_path.glob("*.json"))
+        assert len(written) == 1
+        from repro.api import ExperimentArtifact
+
+        artifact = ExperimentArtifact.from_json(written[0])
+        assert artifact.spec_name == "fig3.return_curves"
+        assert artifact.params["fast"] is True
+        assert artifact.engine == "serial"

@@ -3,10 +3,19 @@
 These use the heavily reduced ``fast()`` configs, so they check that every
 driver runs end-to-end and produces the expected table schema, not that the
 resulting numbers match the paper (that is the benchmarks' job).
+
+The drivers are deliberately called through their legacy keyword signatures
+(``repetitions=``, ``workers=``, ...) — this module doubles as coverage for
+the deprecation shim, so the resulting DeprecationWarnings are expected and
+silenced here (the declarative path is covered by tests/test_api.py).
 """
 
 import numpy as np
 import pytest
+
+pytestmark = pytest.mark.filterwarnings(
+    "ignore:the per-driver engine keywords:DeprecationWarning"
+)
 
 from repro.experiments import (
     DroneConfig,
