@@ -1,0 +1,66 @@
+"""Warm-sweep cache guardrail.
+
+The sweep orchestrator's core promise is *never recompute a result you
+already have*: a second run of the same sweep against a warm artifact store
+must serve every point from disk and execute **zero** campaign trials.
+This module keeps that promise honest — it runs a small real Fig. 5 sweep
+twice against a fresh store and **fails if the warm run re-executes any
+trial** (measured by the process-wide executed-trial counter, so nothing
+can slip through via a different engine or a silent cache miss), while
+also asserting the warm results are bit-identical to the cold ones and
+that the warm run is not slower than the cold one.
+
+Like ``bench_batched_fig5.py`` this needs no pytest-benchmark plugin, so CI
+runs it as a plain pytest invocation (see the "sweep-smoke" job in
+``.github/workflows/ci.yml``)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_sweep_cache.py -q
+"""
+
+import time
+
+from repro import api
+from repro.api import ExecutionConfig
+from repro.core.runner import executed_trial_count
+from repro.sweep import SweepSpec
+
+#: The guardrail sweep: two real fig5 points at the unit-test preset.
+SWEEP = SweepSpec.grid("fig5.inference", {"fast": True}, episodes_per_trial=[1, 2])
+
+EXECUTION = ExecutionConfig(seed=13, repetitions=2)
+
+
+def test_warm_sweep_executes_zero_trials(tmp_path):
+    store = tmp_path / "store"
+
+    start = time.perf_counter()
+    cold = api.sweep(SWEEP, execution=EXECUTION, store=store)
+    cold_s = time.perf_counter() - start
+    assert cold.cache_hits == 0
+    # fig5 runs one campaign per (fault mode x BER) cell: 16 campaigns of
+    # `repetitions` trials per point at the small scale.
+    assert cold.executed_trials > 0
+
+    before = executed_trial_count()
+    start = time.perf_counter()
+    warm = api.sweep(SWEEP, execution=EXECUTION, store=store)
+    warm_s = time.perf_counter() - start
+    executed = executed_trial_count() - before
+
+    assert executed == 0, (
+        f"warm-cache sweep re-executed {executed} trial(s); the artifact "
+        "store failed to serve every point"
+    )
+    assert warm.cache_hits == len(warm.points) == 2
+    assert warm.table().rows == cold.table().rows, (
+        "cache-served sweep results differ from the freshly computed ones"
+    )
+    assert warm_s <= cold_s, (
+        f"warm sweep ({warm_s:.3f}s) slower than cold ({cold_s:.3f}s); "
+        "cache hits should skip training and campaigns entirely"
+    )
+    print(
+        f"\nsweep cache guardrail: cold {cold_s:.3f}s "
+        f"({cold.executed_trials} trials) -> warm {warm_s:.3f}s (0 trials, "
+        f"speedup x{cold_s / max(warm_s, 1e-9):.1f})"
+    )

@@ -7,11 +7,24 @@ registering a new :class:`~repro.experiments.registry.ExperimentSpec` is all
 it takes to extend the CLI::
 
     python -m repro list                               # enumerate the specs
+    python -m repro list --json                        # machine-readable schema
     python -m repro fig2 --approach tabular --workers 4
     python -m repro fig5 --fast --batch-size 4
     python -m repro fig7 --fast --workers auto
     python -m repro fig10 --checkpoint-dir runs/fig10 --resume
     python -m repro summary --out-dir results/
+    python -m repro sweep fig5.inference --grid episodes_per_trial=1,2,5 \
+        --set fast=true --store runs/store     # cached parameter sweep
+    python -m repro sweep fig5.inference --grid approach=tabular,nn \
+        --reps auto --target-ci 0.05           # adaptive precision
+
+``python -m repro sweep <spec>`` orchestrates many points of one registered
+experiment: ``--grid`` / ``--zip`` / ``--random`` build the point set,
+results are cached in a content-addressed artifact store (``--cache
+reuse|refresh|off``, ``--store DIR``), ``--sweep-checkpoint`` +
+``--resume`` restart interrupted sweeps, and ``--reps auto`` grows each
+point's campaign until its success-rate CI half-width is below
+``--target-ci``.
 
 The shared execution flags map one-to-one onto
 :class:`repro.api.ExecutionConfig`: ``--workers`` selects the parallel
@@ -28,6 +41,7 @@ With ``--out-dir`` each experiment writes its full
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import Dict, List, Optional
@@ -40,6 +54,9 @@ from repro.experiments.registry import (
 )
 
 __all__ = ["main", "build_parser"]
+
+#: ``--reps`` spelling selecting the adaptive-precision mode (sweep only).
+_AUTO_REPS = "auto"
 
 
 # --------------------------------------------------------------------------- #
@@ -89,6 +106,117 @@ def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
         default=None,
         metavar="DIR",
         help="write each experiment's artifact (result + provenance) as JSON into DIR",
+    )
+
+
+def _add_sweep_flags(parser: argparse.ArgumentParser) -> None:
+    """Flags of the ``sweep`` subcommand (axes, cache, adaptive precision)."""
+    parser.add_argument(
+        "experiment",
+        metavar="spec",
+        help="registered experiment spec to sweep (see 'python -m repro list')",
+    )
+    axes = parser.add_argument_group("sweep axes")
+    axes.add_argument(
+        "--grid",
+        action="append",
+        default=None,
+        metavar="PARAM=V1,V2,...",
+        help="sweep axis for the Cartesian-product mode (repeatable)",
+    )
+    axes.add_argument(
+        "--zip",
+        action="append",
+        default=None,
+        dest="zip_axes",
+        metavar="PARAM=V1,V2,...",
+        help="sweep axis advancing in lockstep with the other --zip axes "
+        "(repeatable; all must have equal lengths)",
+    )
+    axes.add_argument(
+        "--random",
+        action="append",
+        default=None,
+        dest="random_axes",
+        metavar="PARAM=V1,V2,...",
+        help="sweep axis sampled uniformly per point (repeatable; needs --samples)",
+    )
+    axes.add_argument(
+        "--samples",
+        type=int,
+        default=None,
+        metavar="N",
+        help="number of random-mode points to draw",
+    )
+    axes.add_argument(
+        "--sample-seed",
+        type=int,
+        default=0,
+        metavar="N",
+        help="seed of the random-mode draw (default: 0; independent of --seed)",
+    )
+    axes.add_argument(
+        "--set",
+        action="append",
+        default=None,
+        dest="base_params",
+        metavar="PARAM=VALUE",
+        help="pin a non-swept parameter for every point (repeatable), "
+        "e.g. --set fast=true",
+    )
+    _add_execution_flags(parser)
+    adaptive = parser.add_argument_group("adaptive precision (--reps auto)")
+    adaptive.add_argument(
+        "--target-ci",
+        type=float,
+        default=0.05,
+        metavar="W",
+        help="target Wilson CI half-width of each point's headline "
+        "success-rate metric (default: 0.05)",
+    )
+    adaptive.add_argument(
+        "--initial-reps",
+        type=int,
+        default=4,
+        metavar="N",
+        help="campaign size of the first adaptive round (default: 4)",
+    )
+    adaptive.add_argument(
+        "--growth",
+        type=float,
+        default=2.0,
+        metavar="G",
+        help="minimum per-round repetition growth factor (default: 2.0)",
+    )
+    adaptive.add_argument(
+        "--max-reps",
+        type=int,
+        default=None,
+        metavar="N",
+        help="per-point repetition budget for adaptive mode (default: unbounded)",
+    )
+    cache = parser.add_argument_group("artifact cache")
+    cache.add_argument(
+        "--cache",
+        choices=("reuse", "refresh", "off"),
+        default="reuse",
+        help="artifact-store policy: reuse cached points (default), refresh "
+        "(recompute and overwrite), or off",
+    )
+    cache.add_argument(
+        "--store",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="artifact store root (default: REPRO_STORE_DIR or .repro-store)",
+    )
+    cache.add_argument(
+        "--sweep-checkpoint",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="JSONL file recording completed sweep points; with --resume, "
+        "points already recorded there are skipped",
     )
 
 
@@ -158,11 +286,28 @@ def build_parser() -> argparse.ArgumentParser:
     # the subcommand actually invoked instead of the top-level synopsis.
     parser.figure_parsers = {}
 
-    subparsers.add_parser(
+    list_parser = subparsers.add_parser(
         "list",
         help="list every registered experiment spec and its parameters",
         description="Enumerate the declarative experiment registry.",
     )
+    list_parser.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="emit the registry as machine-readable JSON (name, description, "
+        "typed parameter schema per spec)",
+    )
+
+    sweep_parser = subparsers.add_parser(
+        "sweep",
+        help="run a cached parameter sweep over one registered spec",
+        description="Orchestrate many points of one experiment spec with "
+        "content-addressed result caching, sweep checkpoint/resume and "
+        "optional adaptive ('--reps auto') precision-driven sampling.",
+    )
+    _add_sweep_flags(sweep_parser)
+    parser.figure_parsers["sweep"] = sweep_parser
 
     for figure in figures():
         specs = specs_for_figure(figure)
@@ -184,6 +329,16 @@ def build_parser() -> argparse.ArgumentParser:
 # --------------------------------------------------------------------------- #
 # Command implementations
 # --------------------------------------------------------------------------- #
+def _render_listing_json() -> str:
+    """The registry as machine-readable JSON (``python -m repro list --json``).
+
+    Schema: a list of spec objects — ``name`` / ``figure`` / ``description``
+    / ``batched`` / ``params`` (each with name, type, default, help, choices,
+    minimum) — the contract sweep tooling and external runners build on.
+    """
+    return json.dumps([spec.to_json_dict() for spec in list_specs()], indent=2)
+
+
 def _render_listing() -> str:
     lines = ["Registered experiment specs:", ""]
     for spec in list_specs():
@@ -222,13 +377,111 @@ def _artifact_slug(title: str) -> str:
     return "".join(c if c.isalnum() else "_" for c in title).strip("_")
 
 
+def _parse_axis_arg(text: str, parser: argparse.ArgumentParser):
+    """Split one ``PARAM=V1,V2,...`` axis flag into (name, raw value list)."""
+    name, sep, values = text.partition("=")
+    if not sep or not name or not values:
+        parser.error(f"axis must look like param=v1,v2,..., got {text!r}")
+    return name, [v for v in values.split(",") if v != ""]
+
+
+def _run_sweep(args, parser: argparse.ArgumentParser) -> int:
+    from repro import api
+    from repro.io.tables import render_table
+    from repro.sweep import SweepSpec
+
+    reporter = parser.figure_parsers["sweep"]
+    groups = {
+        "grid": args.grid,
+        "zip": args.zip_axes,
+        "random": args.random_axes,
+    }
+    used = [mode for mode, axes in groups.items() if axes]
+    if len(used) != 1:
+        reporter.error("pass axes with exactly one of --grid / --zip / --random")
+    mode = used[0]
+    axes = dict(_parse_axis_arg(text, reporter) for text in groups[mode])
+    base_params = {}
+    for text in args.base_params or []:
+        name, values = _parse_axis_arg(text, reporter)
+        if len(values) != 1:
+            reporter.error(f"--set takes a single value, got {text!r}")
+        base_params[name] = values[0]
+
+    repetitions = args.reps
+    if repetitions is not None and repetitions != _AUTO_REPS:
+        repetitions = str(repetitions)
+    try:
+        execution = api.ExecutionConfig(
+            seed=args.seed,
+            workers=args.workers,
+            batch_size=args.batch_size,
+            checkpoint_dir=args.checkpoint_dir,
+            resume=bool(args.resume and args.checkpoint_dir is not None),
+        )
+        sweep_spec = SweepSpec(
+            experiment=args.experiment,
+            axes=tuple((name, tuple(values)) for name, values in axes.items()),
+            mode=mode,
+            base_params=tuple(base_params.items()),
+            samples=args.samples,
+            sample_seed=args.sample_seed,
+        )
+    except (KeyError, ValueError, TypeError) as exc:
+        reporter.error(str(exc))
+
+    def progress(done: int, total: int) -> None:
+        print(f"  sweep point {done}/{total}", flush=True)
+
+    try:
+        artifact = api.sweep(
+            sweep_spec,
+            execution=execution,
+            repetitions=repetitions,
+            target_ci=args.target_ci,
+            initial_repetitions=args.initial_reps,
+            growth=args.growth,
+            max_repetitions=args.max_reps,
+            cache=args.cache,
+            store=args.store,
+            checkpoint=args.sweep_checkpoint,
+            # --resume means "resume whatever was checkpointed": sweep-level
+            # resume only applies when a sweep checkpoint exists (the
+            # campaign-level --checkpoint-dir resume is handled by the
+            # ExecutionConfig built above).
+            resume=bool(args.resume and args.sweep_checkpoint is not None),
+            progress=progress,
+        )
+    except (KeyError, ValueError, TypeError) as exc:
+        reporter.error(str(exc))
+
+    print()
+    print(render_table(artifact.summary_table()))
+    print()
+    print(render_table(artifact.table()))
+    hits = artifact.cache_hits
+    print(
+        f"\n{len(artifact.points)} points, {hits} cache hit(s), "
+        f"{artifact.executed_trials} trial(s) executed, "
+        f"{artifact.wall_time_s:.2f}s"
+    )
+    if args.out_dir is not None:
+        args.out_dir.mkdir(parents=True, exist_ok=True)
+        out = args.out_dir / f"sweep_{args.experiment.replace('.', '_')}.json"
+        artifact.to_json(out)
+        print(f"sweep artifact written to {out}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
 
     if args.figure == "list":
-        print(_render_listing())
+        print(_render_listing_json() if args.as_json else _render_listing())
         return 0
+    if args.figure == "sweep":
+        return _run_sweep(args, parser)
 
     from repro import api
     from repro.io.tables import render_table

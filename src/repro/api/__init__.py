@@ -36,6 +36,7 @@ __all__ = [
     "ExperimentArtifact",
     "resolve_execution",
     "run",
+    "sweep",
     "get_spec",
     "list_experiments",
 ]
@@ -60,6 +61,8 @@ def run(
     params: Optional[Mapping[str, Any]] = None,
     *,
     execution: Optional[ExecutionConfig] = None,
+    cache: str = "off",
+    store: Any = None,
     **param_overrides: Any,
 ) -> ExperimentArtifact:
     """Run one registered experiment and return a provenance-carrying artifact.
@@ -78,6 +81,16 @@ def run(
         execution.  Engine choice never changes the numbers — campaigns are
         bit-identical across serial / parallel / batched execution for the
         same seed.
+    cache:
+        Artifact-store policy.  ``"off"`` (default) never touches the store;
+        ``"reuse"`` returns the stored artifact when this exact invocation
+        (spec, params, seed/repetitions/scale, code fingerprint) has run
+        before, executing nothing; ``"refresh"`` always executes and
+        overwrites the stored entry.
+    store:
+        The :class:`~repro.store.ArtifactStore` (or its root path) used when
+        ``cache`` is not ``"off"``; ``None`` selects the default store
+        (``REPRO_STORE_DIR`` or ``.repro-store``).
     """
     from repro.experiments.registry import ExperimentSpec, get_spec as _get_spec
 
@@ -93,13 +106,147 @@ def run(
     resolved_params = spec.resolve_params(merged)
     execution = (execution or ExecutionConfig()).resolved()
 
+    digest = None
+    if cache != "off" or store is not None:
+        from repro.store import artifact_key, resolve_store, validate_cache_policy
+
+        validate_cache_policy(cache)
+        if cache == "off":
+            raise TypeError("store= was given but cache='off'; pass cache='reuse' or 'refresh'")
+        store = resolve_store(store)
+        digest = artifact_key(spec.name, resolved_params, execution)
+        if cache == "reuse":
+            hit = store.get(digest)
+            if hit is not None:
+                return hit
+
     start = time.perf_counter()
     result = spec.run_fn(execution, **resolved_params)
     wall_time = time.perf_counter() - start
-    return ExperimentArtifact(
+    artifact = ExperimentArtifact(
         spec_name=spec.name,
         params=resolved_params,
         execution=execution,
         wall_time_s=wall_time,
         result=result,
+    )
+    if digest is not None:
+        store.put(artifact, digest=digest)
+    return artifact
+
+
+def sweep(
+    experiment,
+    axes: Optional[Mapping[str, Any]] = None,
+    *,
+    mode: str = "grid",
+    samples: Optional[int] = None,
+    sample_seed: int = 0,
+    params: Optional[Mapping[str, Any]] = None,
+    execution: Optional[ExecutionConfig] = None,
+    repetitions: Any = None,
+    target_ci: float = 0.05,
+    initial_repetitions: int = 4,
+    growth: float = 2.0,
+    max_repetitions: Optional[int] = None,
+    cache: str = "reuse",
+    store: Any = None,
+    checkpoint: Any = None,
+    resume: bool = False,
+    progress: Any = None,
+):
+    """Run a parameter sweep over one registered experiment.
+
+    A sweep executes one :func:`run` per *point* — a fully resolved
+    parameter assignment — through the existing campaign engines, with
+    content-addressed caching (points the repo has already computed are
+    served from the artifact store and execute zero trials), JSONL
+    checkpoint/resume, and identity-derived per-point seeds that make the
+    sweep bit-identical to independent :func:`run` calls in any order::
+
+        artifact = api.sweep(
+            "fig5.inference",
+            {"episodes_per_trial": [1, 2, 5]},
+            params={"fast": True},
+            execution=api.ExecutionConfig(seed=7, batch_size=8),
+        )
+        artifact.table()            # every point's rows, flattened
+        artifact.cache_hits         # how many points came from the store
+
+    Parameters
+    ----------
+    experiment:
+        A registered spec name (e.g. ``"fig5.inference"``), an
+        ``ExperimentSpec``, or a pre-built
+        :class:`~repro.sweep.SweepSpec` (in which case ``axes`` / ``mode`` /
+        ``samples`` / ``params`` must be left unset).
+    axes:
+        Mapping of parameter name to the values it sweeps over.
+    mode:
+        ``"grid"`` (Cartesian product, default), ``"zip"`` (lockstep) or
+        ``"random"`` (uniform draws; requires ``samples``).
+    params:
+        Base parameters pinned for every point (e.g. ``{"fast": True}``).
+    execution:
+        Shared :class:`ExecutionConfig`; its seed is the sweep seed from
+        which every point's campaign seed is derived, and its engine knobs
+        apply to every point.
+    repetitions:
+        ``None`` (use ``execution`` / config presets), a positive int
+        (pinned for every point), or ``"auto"`` — adaptive mode, growing
+        each point's campaign in rounds until the Wilson CI half-width of
+        its headline success-rate metric is at most ``target_ci``.
+    target_ci, initial_repetitions, growth, max_repetitions:
+        Adaptive-mode knobs (see :class:`~repro.sweep.AdaptiveConfig`);
+        ignored unless ``repetitions="auto"``.
+    cache:
+        Artifact-store policy per point: ``"reuse"`` (default), ``"refresh"``
+        or ``"off"``.
+    store:
+        The :class:`~repro.store.ArtifactStore` or its root path (``None`` =
+        the default store).
+    checkpoint:
+        Path of a JSONL sweep checkpoint recording completed points;
+        ``resume=True`` skips points already recorded there.
+    progress:
+        Callback ``(points completed, total points)``.
+    """
+    from repro.experiments.registry import ExperimentSpec
+    from repro.sweep import AdaptiveConfig, SweepRunner, SweepSpec
+
+    if isinstance(experiment, SweepSpec):
+        if axes is not None or params is not None or samples is not None:
+            raise TypeError(
+                "pass either a SweepSpec or axes/params/samples, not both"
+            )
+        sweep_spec = experiment
+    else:
+        if isinstance(experiment, ExperimentSpec):
+            experiment = experiment.name
+        if not axes:
+            raise TypeError("sweep needs axes ({param: values}) or a SweepSpec")
+        axis_items = tuple((name, tuple(values)) for name, values in axes.items())
+        sweep_spec = SweepSpec(
+            experiment=str(experiment),
+            axes=axis_items,
+            mode=mode,
+            base_params=tuple((params or {}).items()),
+            samples=samples,
+            sample_seed=sample_seed,
+        )
+
+    adaptive = None
+    if repetitions == "auto":
+        adaptive = AdaptiveConfig(
+            target_ci=target_ci,
+            initial_repetitions=initial_repetitions,
+            growth=growth,
+            max_repetitions=max_repetitions,
+        )
+    elif repetitions is not None:
+        execution = (execution or ExecutionConfig()).replace(repetitions=repetitions)
+
+    runner = SweepRunner(cache=cache, store=store, progress=progress)
+    return runner.run(
+        sweep_spec, execution, adaptive=adaptive, checkpoint=checkpoint, resume=resume
     )

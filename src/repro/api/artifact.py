@@ -22,6 +22,7 @@ from typing import Any, Dict, Optional, Union
 
 from repro.api.execution import ExecutionConfig
 from repro.io.results import RESULT_KINDS, ResultTable, SeriesResult, result_kind
+from repro.io.sanitize import json_ready
 
 __all__ = ["ExperimentArtifact"]
 
@@ -60,20 +61,25 @@ class ExperimentArtifact:
 
     def to_json_dict(self) -> Dict[str, Any]:
         # "engine" and "seed" are serialization-only conveniences derived
-        # from "execution", which is the single authoritative record.
-        return {
-            "kind": _ARTIFACT_KIND,
-            "spec": self.spec_name,
-            "params": dict(self.params),
-            "execution": self.execution.to_json_dict(),
-            "engine": self.engine,
-            "seed": self.seed,
-            "wall_time_s": self.wall_time_s,
-            "result": {
-                "kind": result_kind(self.result),
-                **self.result.to_json_dict(),
-            },
-        }
+        # from "execution", which is the single authoritative record.  The
+        # whole payload goes through json_ready so numpy scalars in params or
+        # result cells round-trip losslessly (the artifact store digests this
+        # representation).
+        return json_ready(
+            {
+                "kind": _ARTIFACT_KIND,
+                "spec": self.spec_name,
+                "params": dict(self.params),
+                "execution": self.execution.to_json_dict(),
+                "engine": self.engine,
+                "seed": self.seed,
+                "wall_time_s": self.wall_time_s,
+                "result": {
+                    "kind": result_kind(self.result),
+                    **self.result.to_json_dict(),
+                },
+            }
+        )
 
     def to_json(self, path: Optional[Path] = None) -> str:
         """Serialize to JSON; optionally also write to ``path``."""

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import dataclasses
 import operator
+import os
 import warnings
 from dataclasses import dataclass
 from pathlib import Path
@@ -164,6 +165,33 @@ class ExecutionConfig:
         if workers > 1:
             return f"parallel({workers} workers)"
         return "serial"
+
+    def cache_key_dict(self) -> Dict[str, Any]:
+        """The execution fields that determine an experiment's *numbers*.
+
+        This is what the content-addressed artifact store digests: the seed,
+        the repetition count and the scale preset.  The engine knobs
+        (``workers`` / ``batch_size``) and the checkpoint knobs are excluded
+        on purpose — campaigns are contractually bit-identical across
+        serial / parallel / batched execution, so a result computed on one
+        engine is a valid cache hit for every other.
+
+        When ``repetitions`` is ``None`` the count comes from the experiment
+        config's preset, which honours ``REPRO_CAMPAIGN_REPS``; the raw value
+        of that variable is folded into the key so changing it invalidates
+        cached results instead of silently serving counts from a different
+        environment.
+        """
+        from repro.core.campaign import REPS_ENV_VAR
+
+        key: Dict[str, Any] = {
+            "seed": self.seed,
+            "repetitions": self.repetitions,
+            "scale": self.resolved().scale,
+        }
+        if self.repetitions is None:
+            key["reps_env"] = os.environ.get(REPS_ENV_VAR)
+        return key
 
     def to_json_dict(self) -> Dict[str, Any]:
         """JSON-safe representation (used by experiment artifacts)."""

@@ -44,6 +44,7 @@ from repro.core.runner import (
     TrialExecutionError,
     default_batch_size,
     default_workers,
+    executed_trial_count,
     make_runner,
     supports_batching,
 )
@@ -74,6 +75,7 @@ __all__ = [
     "TrialExecutionError",
     "default_workers",
     "default_batch_size",
+    "executed_trial_count",
     "supports_batching",
     "make_runner",
 ]

@@ -82,6 +82,10 @@ class CampaignResult:
 
     name: str
     outcomes: List[TrialOutcome] = field(default_factory=list)
+    #: Trials freshly executed by this run (vs restored from a checkpoint).
+    executed_trials: int = 0
+    #: Trials restored from an existing checkpoint instead of re-executed.
+    restored_trials: int = 0
 
     @property
     def repetitions(self) -> int:
@@ -237,6 +241,8 @@ class Campaign:
 
         result = CampaignResult(name=self.name)
         result.outcomes = [completed[i] for i in range(self.repetitions)]
+        result.executed_trials = len(pending)
+        result.restored_trials = total - len(pending)
         return result
 
 

@@ -53,6 +53,7 @@ __all__ = [
     "supports_batching",
     "default_workers",
     "default_batch_size",
+    "executed_trial_count",
     "parse_worker_count",
     "parse_batch_size",
     "make_runner",
@@ -119,6 +120,40 @@ def make_runner(
     return ParallelRunner(workers=workers)
 
 
+class _ExecutionStats:
+    """Process-wide count of campaign trials actually *executed*.
+
+    Every engine bumps the counter (in the parent process) once per freshly
+    computed trial outcome; trials restored from a checkpoint or served from
+    the artifact store never touch it.  That makes warm-cache guarantees
+    testable: the sweep cache guardrail measures the counter delta around a
+    warm re-run and fails if any trial executed at all.
+    """
+
+    __slots__ = ("trials_executed",)
+
+    def __init__(self) -> None:
+        self.trials_executed = 0
+
+    def record(self, n: int = 1) -> None:
+        self.trials_executed += n
+
+
+EXECUTION_STATS = _ExecutionStats()
+
+
+def executed_trial_count() -> int:
+    """Monotonic count of campaign trials executed in this process.
+
+    Measure a delta around a code path to count the trials it computed::
+
+        before = executed_trial_count()
+        api.sweep(...)
+        assert executed_trial_count() - before == 0   # 100% cache hits
+    """
+    return EXECUTION_STATS.trials_executed
+
+
 def supports_batching(trial_fn) -> bool:
     """Whether a trial function exposes a vectorized ``run_batch(rngs)``.
 
@@ -183,6 +218,7 @@ class SerialRunner(CampaignRunner):
         for index, seed in tasks:
             rng = np.random.default_rng(seed)
             outcome = _validated(trial_fn(rng), index)
+            EXECUTION_STATS.record()
             results.append((index, outcome))
             if on_result is not None:
                 on_result(index, outcome)
@@ -362,6 +398,7 @@ class ParallelRunner(CampaignRunner):
             if error is not None:
                 message, worker_tb = error
                 raise TrialExecutionError(index, message, worker_tb)
+            EXECUTION_STATS.record()
             results.append((index, outcome))
             if on_result is not None:
                 on_result(index, outcome)
@@ -442,6 +479,7 @@ class BatchedRunner(CampaignRunner):
 
         def collect(batch_results: List[Tuple[int, "TrialOutcome"]]) -> None:
             for index, outcome in batch_results:
+                EXECUTION_STATS.record()
                 results.append((index, outcome))
                 if on_result is not None:
                     on_result(index, outcome)

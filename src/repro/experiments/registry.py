@@ -140,6 +140,17 @@ class ParamSpec:
             kind = _TYPE_NAMES[self.type]
         return f"{self.name}: {kind} = {self.default}"
 
+    def to_json_dict(self) -> Dict[str, Any]:
+        """Machine-readable schema entry (``python -m repro list --json``)."""
+        return {
+            "name": self.name,
+            "type": _TYPE_NAMES[self.type],
+            "default": self.default,
+            "help": self.help,
+            "choices": None if self.choices is None else list(self.choices),
+            "minimum": self.minimum,
+        }
+
 
 @dataclass(frozen=True)
 class ExperimentSpec:
@@ -162,6 +173,24 @@ class ExperimentSpec:
     def figure(self) -> str:
         """The CLI subcommand this spec belongs to (``"fig5.inference"`` → ``"fig5"``)."""
         return self.name.split(".", 1)[0]
+
+    def param(self, name: str) -> ParamSpec:
+        """Look one declared parameter up by name (``KeyError`` for typos)."""
+        for param in self.params:
+            if param.name == name:
+                return param
+        valid = [param.name for param in self.params] or ["<none>"]
+        raise KeyError(f"spec {self.name!r} has no parameter {name!r} (valid: {valid})")
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        """Machine-readable spec description (``python -m repro list --json``)."""
+        return {
+            "name": self.name,
+            "figure": self.figure,
+            "description": self.description,
+            "batched": self.batched,
+            "params": [param.to_json_dict() for param in self.params],
+        }
 
     def resolve_params(self, overrides: Optional[Mapping[str, Any]] = None) -> Dict[str, Any]:
         """Defaults merged with ``overrides``, validated against the schema.

@@ -1,6 +1,7 @@
 """Result containers and renderers used by examples and benchmarks."""
 
 from repro.io.results import CampaignCheckpoint, ResultRow, ResultTable, SeriesResult
+from repro.io.sanitize import canonical_json, json_ready
 from repro.io.tables import render_table, render_heatmap
 
 __all__ = [
@@ -8,6 +9,8 @@ __all__ = [
     "ResultRow",
     "ResultTable",
     "SeriesResult",
+    "canonical_json",
+    "json_ready",
     "render_table",
     "render_heatmap",
 ]

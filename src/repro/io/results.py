@@ -20,6 +20,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence
 
 from repro.core.campaign import TrialOutcome
+from repro.io.sanitize import json_ready
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.campaign import Campaign
@@ -72,8 +73,14 @@ class ResultTable:
         return ResultTable(title=self.title, rows=matched)
 
     def to_json_dict(self) -> Dict[str, Any]:
-        """JSON-safe dict representation (embeddable in experiment artifacts)."""
-        return {"title": self.title, "rows": self.rows}
+        """JSON-safe dict representation (embeddable in experiment artifacts).
+
+        Rows pass through :func:`~repro.io.sanitize.json_ready`, so numpy
+        scalars/arrays that leaked into cells round-trip losslessly (an
+        ``np.int64`` cell stays an ``int``, never ``float``) — the artifact
+        store's content digests depend on this.
+        """
+        return {"title": self.title, "rows": json_ready(self.rows)}
 
     @classmethod
     def from_json_dict(cls, data: Dict[str, Any]) -> "ResultTable":
@@ -136,8 +143,8 @@ class SeriesResult:
         return {
             "title": self.title,
             "x_label": self.x_label,
-            "x_values": self.x_values,
-            "series": self.series,
+            "x_values": json_ready(self.x_values),
+            "series": json_ready(self.series),
         }
 
     @classmethod
@@ -222,10 +229,12 @@ class CampaignCheckpoint:
 
     def append(self, index: int, outcome: TrialOutcome) -> None:
         """Record one completed trial (flushed immediately for crash safety)."""
-        # default=float keeps numpy scalar metrics/extras serializable, same
-        # as ResultTable.to_json.
+        # json_ready keeps numpy scalar metrics/extras lossless (np.bool_
+        # stays a JSON bool, np.int64 stays an int); default=float remains as
+        # a safety net for exotic extras.
         line = json.dumps(
-            {"index": int(index), "outcome": outcome.to_json_dict()}, default=float
+            {"index": int(index), "outcome": json_ready(outcome.to_json_dict())},
+            default=float,
         )
         with open(self.path, "a") as handle:
             handle.write(line + "\n")

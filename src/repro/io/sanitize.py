@@ -1,0 +1,63 @@
+"""Lossless JSON sanitization for result payloads.
+
+Experiment drivers compute with numpy, so numpy scalars (``np.float64``,
+``np.int64``, ``np.bool_``) and small arrays routinely end up inside result
+rows, parameters and trial extras.  ``json.dumps(..., default=float)`` makes
+such payloads *serializable* but not *lossless*: an ``np.int64(1000)``
+becomes ``1000.0`` on disk and an ``int``-valued cell changes type across a
+round-trip.  The content-addressed artifact store keys cache entries by a
+canonical digest of these payloads, so "almost the same JSON" means a
+spurious cache miss (or worse, a collision between a refreshed and a stale
+encoding).
+
+:func:`json_ready` converts a payload into plain Python containers and
+scalars — numpy booleans to ``bool``, numpy integers to ``int``, numpy
+floats to ``float``, arrays to (nested) lists, tuples to lists and mapping
+keys to strings — so ``json.loads(json.dumps(json_ready(x)))`` preserves
+both values and JSON types.  :func:`canonical_json` builds on it to produce
+the deterministic, key-sorted, whitespace-free encoding the store digests.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+import numpy as np
+
+__all__ = ["json_ready", "canonical_json"]
+
+
+def json_ready(obj: Any) -> Any:
+    """Recursively convert ``obj`` into lossless, JSON-native Python values.
+
+    Numpy scalars map to the matching Python scalar type (``np.int64`` →
+    ``int``, not ``float``), arrays to nested lists, tuples/sets to lists
+    (sets are sorted for determinism) and mapping keys to strings.  Values
+    that are already JSON-native pass through unchanged.
+    """
+    if isinstance(obj, dict):
+        return {str(key): json_ready(value) for key, value in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [json_ready(value) for value in obj]
+    if isinstance(obj, (set, frozenset)):
+        return [json_ready(value) for value in sorted(obj)]
+    if isinstance(obj, np.ndarray):
+        return json_ready(obj.tolist())
+    if isinstance(obj, np.bool_):
+        return bool(obj)
+    if isinstance(obj, np.integer):
+        return int(obj)
+    if isinstance(obj, np.floating):
+        return float(obj)
+    return obj
+
+
+def canonical_json(obj: Any) -> str:
+    """Deterministic JSON encoding (sorted keys, no whitespace) of ``obj``.
+
+    Two payloads that differ only in dict insertion order or numpy-vs-Python
+    scalar types produce the same canonical string, which is what makes the
+    artifact store's content digests stable.
+    """
+    return json.dumps(json_ready(obj), sort_keys=True, separators=(",", ":"))

@@ -9,8 +9,10 @@ from repro.metrics.navigation import (
 )
 from repro.metrics.statistics import (
     wilson_confidence_interval,
+    wilson_half_width,
     mean_confidence_interval,
     required_trials,
+    next_adaptive_repetitions,
 )
 
 __all__ = [
@@ -20,6 +22,8 @@ __all__ = [
     "episodes_to_converge",
     "cumulative_reward",
     "wilson_confidence_interval",
+    "wilson_half_width",
     "mean_confidence_interval",
     "required_trials",
+    "next_adaptive_repetitions",
 ]

@@ -10,20 +10,29 @@ estimates are at any repetition count.
 from __future__ import annotations
 
 import math
-from typing import Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["wilson_confidence_interval", "mean_confidence_interval", "required_trials"]
+__all__ = [
+    "wilson_confidence_interval",
+    "wilson_half_width",
+    "mean_confidence_interval",
+    "required_trials",
+    "next_adaptive_repetitions",
+]
 
 #: Two-sided z value for 95% confidence.
 _Z95 = 1.959963984540054
 
 
-def wilson_confidence_interval(
-    successes: int, trials: int, z: float = _Z95
-) -> Tuple[float, float]:
-    """Wilson score interval for a binomial proportion."""
+def _wilson_centre_half(successes: float, trials: int, z: float) -> Tuple[float, float]:
+    """Centre and half-width of the Wilson score interval.
+
+    ``successes`` may be fractional: campaign rows report *mean* success
+    rates (each trial can average several graded episodes), so the adaptive
+    sampler works with effective success counts like ``rate * trials``.
+    """
     if trials <= 0:
         raise ValueError(f"trials must be positive, got {trials}")
     if not 0 <= successes <= trials:
@@ -34,7 +43,36 @@ def wilson_confidence_interval(
     half_width = (
         z * math.sqrt(proportion * (1 - proportion) / trials + z * z / (4 * trials * trials))
     ) / denom
-    return max(0.0, centre - half_width), min(1.0, centre + half_width)
+    return centre, half_width
+
+
+def wilson_confidence_interval(
+    successes: int, trials: int, z: float = _Z95
+) -> Tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    At the degenerate observations the exact bounds are pinned: zero
+    successes give a lower bound of exactly ``0.0`` and all-successes an
+    upper bound of exactly ``1.0`` (the centre/half-width arithmetic
+    otherwise leaves float dust like ``2e-19`` at those edges).
+    """
+    centre, half_width = _wilson_centre_half(successes, trials, z)
+    low = 0.0 if successes == 0 else max(0.0, centre - half_width)
+    high = 1.0 if successes == trials else min(1.0, centre + half_width)
+    return low, high
+
+
+def wilson_half_width(successes: float, trials: int, z: float = _Z95) -> float:
+    """Half-width of the Wilson score interval for a binomial proportion.
+
+    This is the sequential-sampling stopping statistic: a campaign measured
+    until ``wilson_half_width(successes, trials) <= target`` guarantees its
+    reported proportion is within ``target`` of the interval centre at the
+    ``z`` confidence level.  Strictly decreasing in ``trials`` for a fixed
+    proportion, and well defined at the edges ``p = 0`` and ``p = 1`` (where
+    the normal-approximation width would collapse to zero).
+    """
+    return _wilson_centre_half(successes, trials, z)[1]
 
 
 def mean_confidence_interval(
@@ -63,3 +101,42 @@ def required_trials(margin: float, proportion: float = 0.5, z: float = _Z95) -> 
     if not 0.0 <= proportion <= 1.0:
         raise ValueError(f"proportion must be in [0, 1], got {proportion}")
     return int(math.ceil(z * z * proportion * (1.0 - proportion) / (margin * margin)))
+
+
+def next_adaptive_repetitions(
+    successes: float,
+    trials: int,
+    target_half_width: float,
+    *,
+    growth: float = 2.0,
+    max_trials: Optional[int] = None,
+    z: float = _Z95,
+) -> Optional[int]:
+    """Next campaign size in a measure-until-precise loop, or ``None`` to stop.
+
+    This is the planning half of the adaptive sweep sampler: given the
+    effective success count observed after ``trials`` repetitions, it returns
+    the repetition count the next measurement round should use, or ``None``
+    when no further round should run — either because the Wilson half-width
+    already meets ``target_half_width`` (precision reached) or because
+    ``max_trials`` has been exhausted (budget reached; callers distinguish
+    the two by re-checking :func:`wilson_half_width`).
+
+    The next size is planned from the current proportion estimate via
+    :func:`required_trials`, but never grows by less than ``growth`` per
+    round (so a misleading early estimate near ``p = 0`` or ``p = 1`` cannot
+    stall the loop) and never exceeds ``max_trials``.
+    """
+    if not 0.0 < target_half_width < 1.0:
+        raise ValueError(f"target_half_width must be in (0, 1), got {target_half_width}")
+    if growth <= 1.0:
+        raise ValueError(f"growth must be > 1, got {growth}")
+    if wilson_half_width(successes, trials, z) <= target_half_width:
+        return None
+    if max_trials is not None and trials >= max_trials:
+        return None
+    planned = required_trials(target_half_width, successes / trials, z)
+    next_trials = max(planned, int(math.ceil(trials * growth)))
+    if max_trials is not None:
+        next_trials = min(next_trials, max_trials)
+    return next_trials

@@ -1,0 +1,339 @@
+"""Content-addressed, filesystem-backed store of experiment artifacts.
+
+The sweep orchestrator never recomputes a result it already has.  That
+promise lives here: every :class:`~repro.api.artifact.ExperimentArtifact` is
+stored under a *content key* — the SHA-256 of the canonical JSON of
+
+* the spec name,
+* the fully resolved experiment parameters,
+* the numeric-identity fields of the
+  :class:`~repro.api.execution.ExecutionConfig` (seed, repetitions, scale;
+  engine and checkpoint knobs are excluded because campaigns are
+  bit-identical across engines), and
+* a fingerprint of the ``repro`` source tree
+  (:func:`~repro.store.fingerprint.code_fingerprint`), so editing any code
+  invalidates the cache automatically.
+
+Layout on disk::
+
+    <root>/
+        index.json                  # digest -> metadata (spec, params, ...)
+        objects/<aa>/<digest>.json  # full artifact JSON (provenance intact)
+
+The object files are the source of truth; ``index.json`` is a queryable
+summary that is rebuilt by scanning ``objects/`` whenever it is missing or
+unreadable.  Writes go through a temp file + ``os.replace`` so a killed
+process can never leave a half-written object behind.
+
+The ``cache`` policy threaded through :func:`repro.api.run` maps onto the
+store as:
+
+========== =============================================================
+``reuse``   return the stored artifact when the key exists, else run+put
+``refresh`` always run, overwrite whatever the key held
+``off``     never touch the store (the historical behaviour)
+========== =============================================================
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Union
+
+from repro.api.artifact import ExperimentArtifact
+from repro.api.execution import ExecutionConfig
+from repro.io.sanitize import canonical_json, json_ready
+from repro.store.fingerprint import code_fingerprint
+
+__all__ = [
+    "CACHE_POLICIES",
+    "STORE_ENV_VAR",
+    "ArtifactStore",
+    "StoreEntry",
+    "artifact_key",
+    "default_store_root",
+    "resolve_store",
+    "validate_cache_policy",
+]
+
+#: Valid values for the ``cache=`` policy accepted by ``api.run`` / ``api.sweep``.
+CACHE_POLICIES = ("reuse", "refresh", "off")
+
+#: Environment variable selecting the default store root directory.
+STORE_ENV_VAR = "REPRO_STORE_DIR"
+
+_INDEX_KIND = "repro-artifact-store-index"
+
+
+def validate_cache_policy(policy: str) -> str:
+    """Check a ``cache=`` policy string, returning it unchanged."""
+    if policy not in CACHE_POLICIES:
+        raise ValueError(f"cache must be one of {CACHE_POLICIES}, got {policy!r}")
+    return policy
+
+
+def default_store_root() -> Path:
+    """Default store directory: ``REPRO_STORE_DIR`` or ``.repro-store``."""
+    return Path(os.environ.get(STORE_ENV_VAR, ".repro-store"))
+
+
+def resolve_store(store: Union["ArtifactStore", str, os.PathLike, None]) -> "ArtifactStore":
+    """Coerce a store argument (instance, path, or ``None`` for the default)."""
+    if isinstance(store, ArtifactStore):
+        return store
+    return ArtifactStore(default_store_root() if store is None else store)
+
+
+def artifact_key(
+    spec_name: str,
+    params: Mapping[str, Any],
+    execution: ExecutionConfig,
+    fingerprint: Optional[str] = None,
+) -> str:
+    """Content key of one experiment invocation (SHA-256 hex digest).
+
+    Pure function of the *semantic* identity of a run: parameter dict
+    ordering, numpy scalar types and the execution engine all wash out, so
+    the same experiment asked for twice — by any engine, in any order —
+    lands on the same key.
+    """
+    payload = {
+        "spec": spec_name,
+        "params": params,
+        "execution": execution.cache_key_dict(),
+        "code": fingerprint if fingerprint is not None else code_fingerprint(),
+    }
+    return hashlib.sha256(canonical_json(payload).encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class StoreEntry:
+    """One index record: the key plus enough metadata to query without loads."""
+
+    digest: str
+    spec_name: str
+    params: Dict[str, Any]
+    execution_key: Dict[str, Any]
+    created_at: float
+    wall_time_s: float
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        return {
+            "spec": self.spec_name,
+            "params": self.params,
+            "execution_key": self.execution_key,
+            "created_at": self.created_at,
+            "wall_time_s": self.wall_time_s,
+        }
+
+    @classmethod
+    def from_json_dict(cls, digest: str, data: Mapping[str, Any]) -> "StoreEntry":
+        return cls(
+            digest=digest,
+            spec_name=str(data["spec"]),
+            params=dict(data["params"]),
+            execution_key=dict(data.get("execution_key") or {}),
+            created_at=float(data.get("created_at", 0.0)),
+            wall_time_s=float(data.get("wall_time_s", 0.0)),
+        )
+
+
+def _atomic_write(path: Path, payload: str) -> None:
+    """Write ``payload`` to ``path`` via a same-directory temp file + replace."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(payload)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+class ArtifactStore:
+    """Filesystem-backed, content-addressed cache of experiment artifacts."""
+
+    def __init__(self, root: Union[str, os.PathLike]) -> None:
+        self.root = Path(root)
+        # In-memory index cache, validated against the file's mtime_ns so a
+        # long sweep does not re-parse a growing index on every put()
+        # (which would be O(N^2) over N points) while still seeing writes
+        # made by other store instances.
+        self._index_cache: Optional[Dict[str, Dict[str, Any]]] = None
+        self._index_stamp: Optional[int] = None
+
+    def _index_file_stamp(self) -> Optional[int]:
+        try:
+            stat = self.index_path.stat()
+        except OSError:
+            return None
+        return stat.st_mtime_ns
+
+    # -- paths ----------------------------------------------------------- #
+    @property
+    def index_path(self) -> Path:
+        return self.root / "index.json"
+
+    def object_path(self, digest: str) -> Path:
+        return self.root / "objects" / digest[:2] / f"{digest}.json"
+
+    # -- index ----------------------------------------------------------- #
+    def _load_index(self) -> Dict[str, Dict[str, Any]]:
+        stamp = self._index_file_stamp()
+        if self._index_cache is not None and stamp == self._index_stamp:
+            return self._index_cache
+        try:
+            data = json.loads(self.index_path.read_text())
+            if data.get("kind") != _INDEX_KIND:
+                raise ValueError(f"not a store index: {self.index_path}")
+            entries = dict(data.get("entries") or {})
+            self._index_cache, self._index_stamp = entries, stamp
+            return entries
+        except FileNotFoundError:
+            pass
+        except (json.JSONDecodeError, ValueError, KeyError):
+            pass  # unreadable index: rebuild from the object files below
+        entries = self._rebuild_index()
+        if entries or self.root.exists():
+            self._save_index(entries)
+        else:
+            self._index_cache, self._index_stamp = entries, self._index_file_stamp()
+        return entries
+
+    def _rebuild_index(self) -> Dict[str, Dict[str, Any]]:
+        """Reconstruct index metadata by scanning ``objects/``."""
+        entries: Dict[str, Dict[str, Any]] = {}
+        objects = self.root / "objects"
+        if not objects.is_dir():
+            return entries
+        for path in sorted(objects.glob("*/*.json")):
+            digest = path.stem
+            try:
+                artifact = ExperimentArtifact.from_json(path)
+            except (ValueError, KeyError, json.JSONDecodeError, OSError):
+                continue  # corrupt object: skip, never serve
+            entries[digest] = StoreEntry(
+                digest=digest,
+                spec_name=artifact.spec_name,
+                params=dict(artifact.params),
+                execution_key=artifact.execution.cache_key_dict(),
+                created_at=path.stat().st_mtime,
+                wall_time_s=artifact.wall_time_s,
+            ).to_json_dict()
+        return entries
+
+    def _save_index(self, entries: Dict[str, Dict[str, Any]]) -> None:
+        payload = json.dumps(
+            json_ready({"kind": _INDEX_KIND, "version": 1, "entries": entries}),
+            indent=2,
+            sort_keys=True,
+        )
+        _atomic_write(self.index_path, payload)
+        self._index_cache, self._index_stamp = entries, self._index_file_stamp()
+
+    # -- core operations -------------------------------------------------- #
+    def contains(self, digest: str) -> bool:
+        """Whether an object for ``digest`` exists on disk."""
+        return self.object_path(digest).is_file()
+
+    def get(self, digest: str) -> Optional[ExperimentArtifact]:
+        """Load the artifact stored under ``digest``; ``None`` on a miss.
+
+        An unreadable object file counts as a miss (the caller recomputes
+        and overwrites it) rather than an error — a half-corrupted cache
+        must never block an experiment.
+        """
+        path = self.object_path(digest)
+        if not path.is_file():
+            return None
+        try:
+            return ExperimentArtifact.from_json(path)
+        except (ValueError, KeyError, json.JSONDecodeError):
+            return None
+
+    def put(
+        self, artifact: ExperimentArtifact, digest: Optional[str] = None
+    ) -> StoreEntry:
+        """Store an artifact under its content key (computed if not given).
+
+        The artifact JSON round-trips with full provenance — loading the
+        entry back yields an ``ExperimentArtifact`` whose ``to_json_dict()``
+        equals the original's exactly.
+        """
+        if digest is None:
+            digest = artifact_key(artifact.spec_name, artifact.params, artifact.execution)
+        _atomic_write(self.object_path(digest), artifact.to_json())
+        entry = StoreEntry(
+            digest=digest,
+            spec_name=artifact.spec_name,
+            params=json_ready(dict(artifact.params)),
+            execution_key=artifact.execution.cache_key_dict(),
+            created_at=time.time(),
+            wall_time_s=artifact.wall_time_s,
+        )
+        entries = self._load_index()
+        entries[digest] = entry.to_json_dict()
+        self._save_index(entries)
+        return entry
+
+    def entries(self) -> List[StoreEntry]:
+        """Every index entry, ordered by creation time then digest."""
+        entries = [
+            StoreEntry.from_json_dict(digest, data)
+            for digest, data in self._load_index().items()
+        ]
+        return sorted(entries, key=lambda e: (e.created_at, e.digest))
+
+    def query(self, spec: Optional[str] = None, **params: Any) -> List[StoreEntry]:
+        """Index entries matching a spec name and/or exact parameter values.
+
+        ``store.query("fig5.inference", approach="nn")`` returns every cached
+        fig5 NN artifact regardless of seed or repetition count.
+        """
+        matched = []
+        wanted = json_ready(params)
+        for entry in self.entries():
+            if spec is not None and entry.spec_name != spec:
+                continue
+            if all(entry.params.get(key) == value for key, value in wanted.items()):
+                matched.append(entry)
+        return matched
+
+    def evict(self, digest: Optional[str] = None, *, spec: Optional[str] = None) -> int:
+        """Remove entries: one digest, every entry of a spec, or everything.
+
+        Returns the number of objects removed.  With neither ``digest`` nor
+        ``spec`` the whole store is cleared.
+        """
+        entries = self._load_index()
+        if digest is not None:
+            doomed = [digest] if digest in entries or self.contains(digest) else []
+        elif spec is not None:
+            doomed = [d for d, data in entries.items() if data.get("spec") == spec]
+        else:
+            doomed = list(entries)
+        removed = 0
+        for d in doomed:
+            entries.pop(d, None)
+            path = self.object_path(d)
+            if path.is_file():
+                path.unlink()
+                removed += 1
+        self._save_index(entries)
+        return removed
+
+    def __len__(self) -> int:
+        return len(self._load_index())
+
+    def __repr__(self) -> str:
+        return f"ArtifactStore({str(self.root)!r})"

@@ -1,0 +1,53 @@
+"""Code fingerprinting for cache-key invalidation.
+
+A content-addressed artifact cache is only sound if "same key" implies "same
+computation".  Experiment results depend on the whole ``repro`` package — a
+one-line change to a fault model or an RNG draw order silently changes every
+campaign — so the store folds a digest of the package's source tree into
+every artifact key.  Edit any ``repro/*.py`` file and previously cached
+artifacts simply stop matching; no manual cache flushing, no stale results.
+
+The fingerprint is a SHA-256 over the sorted relative paths and byte
+contents of every ``*.py`` file under the installed ``repro`` package
+(``__pycache__`` excluded).  It is computed once per process and cached —
+the tree is ~90 small files, so the first call costs a few milliseconds.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from pathlib import Path
+from typing import Optional
+
+__all__ = ["code_fingerprint", "clear_fingerprint_cache"]
+
+_CACHED: Optional[str] = None
+
+
+def _package_root() -> Path:
+    import repro
+
+    return Path(repro.__file__).resolve().parent
+
+
+def code_fingerprint() -> str:
+    """SHA-256 hex digest of the ``repro`` package's Python source tree."""
+    global _CACHED
+    if _CACHED is None:
+        root = _package_root()
+        digest = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            if "__pycache__" in path.parts:
+                continue
+            digest.update(path.relative_to(root).as_posix().encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+        _CACHED = digest.hexdigest()
+    return _CACHED
+
+
+def clear_fingerprint_cache() -> None:
+    """Drop the per-process fingerprint cache (tests that edit sources)."""
+    global _CACHED
+    _CACHED = None

@@ -1,0 +1,30 @@
+"""Sweep orchestration: many experiment points, computed at most once each.
+
+The paper's headline figures are all sweeps — failure rate vs. fault rate,
+bit position, quantization width, mitigation strategy.  ``repro.sweep``
+turns such studies into data: a :class:`SweepSpec` enumerates points over a
+registered experiment's typed parameters (grid / zip / random), and a
+:class:`SweepRunner` executes them through the existing campaign engines
+with content-addressed caching (:mod:`repro.store`), JSONL checkpoint /
+resume, identity-derived per-point seeds, and optional precision-adaptive
+repetition growth (:class:`AdaptiveConfig`).  The public entry points are
+:func:`repro.api.sweep` and ``python -m repro sweep``.
+"""
+
+from repro.sweep.artifact import SweepArtifact, SweepPoint
+from repro.sweep.checkpoint import SweepCheckpoint, sweep_digest
+from repro.sweep.runner import AdaptiveConfig, SweepRunner, derive_point_seed
+from repro.sweep.spec import SWEEP_MODES, SweepSpec, coerce_param_value
+
+__all__ = [
+    "SWEEP_MODES",
+    "AdaptiveConfig",
+    "SweepArtifact",
+    "SweepCheckpoint",
+    "SweepPoint",
+    "SweepRunner",
+    "SweepSpec",
+    "coerce_param_value",
+    "derive_point_seed",
+    "sweep_digest",
+]

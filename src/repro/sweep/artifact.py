@@ -1,0 +1,184 @@
+"""Structured result of one sweep run.
+
+A :class:`SweepArtifact` holds every point's
+:class:`~repro.api.artifact.ExperimentArtifact` (full provenance intact)
+plus the per-point sweep bookkeeping — derived seed, artifact-store digest,
+whether the point was served from cache, how many trials it actually
+executed, and how many adaptive rounds it took.  Two table views make the
+results consumable:
+
+* :meth:`SweepArtifact.table` — every point's result rows, flattened into
+  one :class:`~repro.io.results.ResultTable` with a leading ``point`` index
+  column and the point's parameters merged in.
+* :meth:`SweepArtifact.summary_table` — one row per point (params, cache
+  hit, executed trials, wall time), the orchestration-level view.
+
+Like experiment artifacts, sweep artifacts round-trip through JSON.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Union
+
+from repro.api.artifact import ExperimentArtifact
+from repro.api.execution import ExecutionConfig
+from repro.io.results import ResultTable
+from repro.io.sanitize import json_ready
+from repro.sweep.spec import SweepSpec
+
+__all__ = ["SweepPoint", "SweepArtifact"]
+
+_SWEEP_KIND = "repro-sweep-artifact"
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One executed (or cache-served) sweep point."""
+
+    index: int
+    params: Dict[str, Any]
+    seed: int
+    artifact: ExperimentArtifact
+    digest: Optional[str] = None
+    cache_hit: bool = False
+    executed_trials: int = 0
+    adaptive_rounds: int = 1
+    #: Final Wilson CI half-width of the headline metric (adaptive runs only).
+    ci_half_width: Optional[float] = None
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        return json_ready(
+            {
+                "index": self.index,
+                "params": dict(self.params),
+                "seed": self.seed,
+                "digest": self.digest,
+                "cache_hit": self.cache_hit,
+                "executed_trials": self.executed_trials,
+                "adaptive_rounds": self.adaptive_rounds,
+                "ci_half_width": self.ci_half_width,
+                "artifact": self.artifact.to_json_dict(),
+            }
+        )
+
+    @classmethod
+    def from_json_dict(cls, data: Mapping[str, Any]) -> "SweepPoint":
+        half_width = data.get("ci_half_width")
+        return cls(
+            index=int(data["index"]),
+            params=dict(data["params"]),
+            seed=int(data["seed"]),
+            artifact=ExperimentArtifact.from_json_dict(data["artifact"]),
+            digest=data.get("digest"),
+            cache_hit=bool(data.get("cache_hit", False)),
+            executed_trials=int(data.get("executed_trials", 0)),
+            adaptive_rounds=int(data.get("adaptive_rounds", 1)),
+            ci_half_width=None if half_width is None else float(half_width),
+        )
+
+
+@dataclass
+class SweepArtifact:
+    """All points of one sweep plus the orchestration provenance."""
+
+    sweep: SweepSpec
+    execution: ExecutionConfig
+    points: List[SweepPoint] = field(default_factory=list)
+    target_ci: Optional[float] = None
+    wall_time_s: float = 0.0
+
+    @property
+    def experiment(self) -> str:
+        return self.sweep.experiment
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for point in self.points if point.cache_hit)
+
+    @property
+    def executed_trials(self) -> int:
+        """Total trials freshly executed across every point and round."""
+        return sum(point.executed_trials for point in self.points)
+
+    def artifacts(self) -> List[ExperimentArtifact]:
+        return [point.artifact for point in self.points]
+
+    def table(self) -> ResultTable:
+        """Every point's result rows flattened into one table.
+
+        Each row gains a leading ``point`` column and the point's swept
+        parameters; columns the experiment itself reports win on collision
+        (they agree by construction — the rows were produced under exactly
+        those parameters).
+        """
+        table = ResultTable(
+            title=f"Sweep {self.experiment} ({len(self.points)} points, {self.sweep.mode})"
+        )
+        for point in self.points:
+            for row in point.artifact.as_table().rows:
+                table.add(point=point.index, **{**point.params, **row})
+        return table
+
+    def summary_table(self) -> ResultTable:
+        """One orchestration row per point (cache hit, trials, wall time)."""
+        table = ResultTable(title=f"Sweep {self.experiment}: points")
+        for point in self.points:
+            row: Dict[str, Any] = {"point": point.index, **point.params}
+            row["seed"] = point.seed
+            row["cache_hit"] = point.cache_hit
+            row["executed_trials"] = point.executed_trials
+            if self.target_ci is not None:
+                row["adaptive_rounds"] = point.adaptive_rounds
+                row["repetitions"] = point.artifact.execution.repetitions
+                row["ci_half_width"] = point.ci_half_width
+            row["wall_time_s"] = round(point.artifact.wall_time_s, 4)
+            table.add(**row)
+        return table
+
+    # -- serialization ---------------------------------------------------- #
+    def to_json_dict(self) -> Dict[str, Any]:
+        return json_ready(
+            {
+                "kind": _SWEEP_KIND,
+                "sweep": self.sweep.to_json_dict(),
+                "execution": self.execution.to_json_dict(),
+                "target_ci": self.target_ci,
+                "wall_time_s": self.wall_time_s,
+                "points": [point.to_json_dict() for point in self.points],
+            }
+        )
+
+    def to_json(self, path: Optional[Path] = None) -> str:
+        """Serialize to JSON; optionally also write to ``path``."""
+        payload = json.dumps(self.to_json_dict(), indent=2, default=float)
+        if path is not None:
+            Path(path).write_text(payload)
+        return payload
+
+    @classmethod
+    def from_json_dict(cls, data: Mapping[str, Any]) -> "SweepArtifact":
+        if data.get("kind") != _SWEEP_KIND:
+            raise ValueError(
+                f"not a sweep artifact: kind={data.get('kind')!r} "
+                f"(expected {_SWEEP_KIND!r})"
+            )
+        target_ci = data.get("target_ci")
+        return cls(
+            sweep=SweepSpec.from_json_dict(data["sweep"]),
+            execution=ExecutionConfig.from_json_dict(data["execution"]),
+            points=[SweepPoint.from_json_dict(point) for point in data["points"]],
+            target_ci=None if target_ci is None else float(target_ci),
+            wall_time_s=float(data.get("wall_time_s", 0.0)),
+        )
+
+    @classmethod
+    def from_json(cls, payload: Union[str, Path]) -> "SweepArtifact":
+        """Deserialize from a JSON payload string or a file path."""
+        if isinstance(payload, Path) or (
+            isinstance(payload, str) and not payload.lstrip("\ufeff \t\r\n").startswith("{")
+        ):
+            payload = Path(payload).read_text()
+        return cls.from_json_dict(json.loads(payload.lstrip("\ufeff")))

@@ -1,0 +1,120 @@
+"""JSONL checkpoint/resume for sweep runs.
+
+Mirrors :class:`~repro.io.results.CampaignCheckpoint` one level up the
+stack: where a campaign checkpoint records *trials*, a sweep checkpoint
+records completed *points* — one header line identifying the sweep (a
+digest of its experiment, points and base seed) followed by one
+``{"index": ..., "point": {...}}`` line per completed
+:class:`~repro.sweep.artifact.SweepPoint`, carrying the point's full
+artifact so resume works even with the artifact store disabled.
+
+The header digest guards against resuming a *different* sweep (changed
+axes, seed or experiment); truncated trailing lines (a killed process) are
+ignored on load, so the file is always resumable after a hard kill.
+Duplicate index lines are harmless — the last one wins, exactly like the
+campaign checkpoint.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.io.sanitize import canonical_json
+from repro.sweep.artifact import SweepPoint
+from repro.sweep.spec import SweepSpec
+
+__all__ = ["SweepCheckpoint", "sweep_digest"]
+
+_HEADER_KIND = "repro-sweep-checkpoint"
+
+
+def sweep_digest(sweep: SweepSpec, points: List[Dict[str, Any]], seed: int) -> str:
+    """Identity digest of a sweep run (experiment + resolved points + seed)."""
+    payload = {
+        "experiment": sweep.experiment,
+        "points": points,
+        "seed": seed,
+    }
+    return hashlib.sha256(canonical_json(payload).encode()).hexdigest()
+
+
+class SweepCheckpoint:
+    """Append-only JSONL record of a sweep's completed points."""
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+
+    def exists(self) -> bool:
+        return self.path.exists()
+
+    def _header(self, digest: str, sweep: SweepSpec, seed: int) -> Dict[str, Any]:
+        return {
+            "kind": _HEADER_KIND,
+            "digest": digest,
+            "experiment": sweep.experiment,
+            "mode": sweep.mode,
+            "seed": seed,
+        }
+
+    def reset(self, digest: str, sweep: SweepSpec, seed: int) -> None:
+        """Truncate the file and write a fresh header."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "w") as handle:
+            handle.write(json.dumps(self._header(digest, sweep, seed)) + "\n")
+
+    def append(self, point: SweepPoint) -> None:
+        """Record one completed point (flushed immediately for crash safety)."""
+        line = json.dumps({"index": point.index, "point": point.to_json_dict()})
+        with open(self.path, "a") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+
+    def load(
+        self, digest: str, sweep: SweepSpec, seed: int, n_points: int
+    ) -> Dict[int, SweepPoint]:
+        """Completed points by index; creates the file if missing.
+
+        Raises ``ValueError`` when the file belongs to a different sweep —
+        resuming it would silently mix points from incompatible runs.
+        """
+        if not self.path.exists():
+            self.reset(digest, sweep, seed)
+            return {}
+        with open(self.path) as handle:
+            lines = handle.read().splitlines()
+        if not lines:
+            self.reset(digest, sweep, seed)
+            return {}
+        header = self._parse_line(lines[0])
+        expected = self._header(digest, sweep, seed)
+        if header != expected:
+            raise ValueError(
+                f"sweep checkpoint {self.path} belongs to a different sweep: "
+                f"found {header}, expected {expected}"
+            )
+        restored: Dict[int, SweepPoint] = {}
+        for line in lines[1:]:
+            record = self._parse_line(line)
+            if record is None:
+                continue  # truncated trailing write
+            try:
+                index = int(record["index"])
+                point = SweepPoint.from_json_dict(record["point"])
+            except (KeyError, TypeError, ValueError):
+                continue
+            if 0 <= index < n_points:
+                restored[index] = point
+        return restored
+
+    @staticmethod
+    def _parse_line(line: str) -> Optional[Dict[str, Any]]:
+        line = line.strip()
+        if not line:
+            return None
+        try:
+            return json.loads(line)
+        except json.JSONDecodeError:
+            return None

@@ -1,0 +1,347 @@
+"""The sweep orchestrator: cache-aware, precision-adaptive point execution.
+
+:class:`SweepRunner` executes every point of a
+:class:`~repro.sweep.spec.SweepSpec` through :func:`repro.api.run` — and
+therefore through the existing serial / parallel / batched campaign engines
+— with three orchestration layers on top:
+
+* **Caching.**  Each point is keyed into the content-addressed
+  :class:`~repro.store.ArtifactStore`; under the default ``reuse`` policy a
+  point the repo has already computed (by any engine, in any previous sweep
+  or ``api.run`` call) is served from disk and executes *zero* trials.
+* **Checkpointing.**  Completed points stream to a JSONL
+  :class:`~repro.sweep.checkpoint.SweepCheckpoint`; an interrupted sweep
+  resumes from the points already on disk.
+* **Adaptive precision.**  With an :class:`AdaptiveConfig`, each point is
+  measured in growing rounds until the Wilson CI half-width of its headline
+  success-rate metric drops below ``target_ci`` — easy points stop after
+  the first round, hard points (success rates near 50%) get the trials they
+  need.  Because campaign trial seeds derive from ``SeedSequence`` children
+  by trial index, a round with ``n`` repetitions reproduces the previous
+  round's trials exactly and the final artifact is bit-identical to a fixed
+  ``repetitions=n`` run at the same seed.
+
+**Seed derivation.**  Every point's campaign seed is derived from the sweep
+seed plus the point's *parameter identity* (a digest of its canonical
+params JSON, folded into a ``SeedSequence``), not from its position.  Two
+consequences: reordering or extending a sweep never changes the numbers of
+the points it shares with another sweep, and a sweep over N points is
+bit-identical to N independent ``api.run`` calls at the derived seeds —
+the differential guarantee ``tests/test_sweep.py`` enforces.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.api.execution import ExecutionConfig
+from repro.core.runner import executed_trial_count
+from repro.io.sanitize import canonical_json
+from repro.metrics.statistics import next_adaptive_repetitions, wilson_half_width
+from repro.sweep.artifact import SweepArtifact, SweepPoint
+from repro.sweep.checkpoint import SweepCheckpoint, sweep_digest
+from repro.sweep.spec import SweepSpec
+
+__all__ = ["AdaptiveConfig", "SweepRunner", "derive_point_seed"]
+
+#: Progress callback: (points completed so far, total points).
+SweepProgressFn = Callable[[int, int], None]
+
+
+def derive_point_seed(base_seed: int, experiment: str, params: Mapping[str, Any]) -> int:
+    """Deterministic campaign seed for one sweep point.
+
+    The point's canonical parameter JSON is digested and folded, together
+    with the sweep's base seed, into a ``np.random.SeedSequence`` whose
+    generated state becomes the seed.  A pure function of *what* the point
+    is — never of where it sits in the sweep or whether the cache served it
+    — so any enumeration order, cache state or sweep composition yields the
+    same per-point seed, and ``api.run(..., seed=derive_point_seed(...))``
+    reproduces a sweep point exactly.
+    """
+    identity = hashlib.sha256(
+        canonical_json({"experiment": experiment, "params": params}).encode()
+    ).digest()
+    words = [int.from_bytes(identity[i : i + 4], "big") for i in range(0, 16, 4)]
+    state = np.random.SeedSequence([int(base_seed)] + words).generate_state(
+        2, dtype=np.uint32
+    )
+    return int(state[0]) | (int(state[1]) << 32)
+
+
+@dataclass(frozen=True)
+class AdaptiveConfig:
+    """Precision-driven repetition growth (``repetitions="auto"``).
+
+    Parameters
+    ----------
+    target_ci:
+        Target Wilson half-width of every headline success-rate row.
+    initial_repetitions:
+        Campaign size of the first measurement round.
+    growth:
+        Minimum per-round growth factor (rounds may jump further when the
+        current estimate already implies a larger requirement).
+    max_repetitions:
+        Hard budget per point; when reached the point stops even if the
+        target has not been met (its reported half-width says so).
+    """
+
+    target_ci: float
+    initial_repetitions: int = 4
+    growth: float = 2.0
+    max_repetitions: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.target_ci < 1.0:
+            raise ValueError(f"target_ci must be in (0, 1), got {self.target_ci}")
+        if self.initial_repetitions < 1:
+            raise ValueError(
+                f"initial_repetitions must be >= 1, got {self.initial_repetitions}"
+            )
+        if self.growth <= 1.0:
+            raise ValueError(f"growth must be > 1, got {self.growth}")
+        if self.max_repetitions is not None and self.max_repetitions < self.initial_repetitions:
+            raise ValueError(
+                "max_repetitions must be >= initial_repetitions, got "
+                f"{self.max_repetitions} < {self.initial_repetitions}"
+            )
+
+
+def _headline_rows(artifact, repetitions: int) -> List[Tuple[float, int]]:
+    """The (effective successes, trials) of every headline success-rate row.
+
+    Headline rows are the campaign rows: cells whose ``repetitions`` column
+    equals the executed campaign size and that report a ``success_rate``.
+    Baseline rows (``repetitions=1`` single rollouts) and metric-only rows
+    are not campaign estimates and are excluded.
+    """
+    rows = []
+    for row in artifact.as_table().rows:
+        rate = row.get("success_rate")
+        reps = row.get("repetitions")
+        if rate is None or reps != repetitions:
+            continue
+        rate = min(1.0, max(0.0, float(rate)))
+        rows.append((rate * repetitions, repetitions))
+    return rows
+
+
+class SweepRunner:
+    """Executes sweep points with cache-aware skipping and adaptive precision.
+
+    Parameters
+    ----------
+    cache:
+        Artifact-store policy for every point (``"reuse"`` / ``"refresh"`` /
+        ``"off"``).  Sweeps default to ``"reuse"`` — the orchestrator's whole
+        point is to never recompute a result it already has.
+    store:
+        The :class:`~repro.store.ArtifactStore` (or root path); ``None``
+        selects the default store (``REPRO_STORE_DIR`` or ``.repro-store``).
+        Ignored when ``cache="off"``.
+    progress:
+        Called with ``(points completed, total points)`` after every point.
+    """
+
+    def __init__(
+        self,
+        *,
+        cache: str = "reuse",
+        store: Any = None,
+        progress: Optional[SweepProgressFn] = None,
+    ) -> None:
+        from repro.store import resolve_store, validate_cache_policy
+
+        self.cache = validate_cache_policy(cache)
+        self.store = resolve_store(store) if self.cache != "off" else None
+        self.progress = progress
+
+    def run(
+        self,
+        sweep: SweepSpec,
+        execution: Optional[ExecutionConfig] = None,
+        *,
+        adaptive: Optional[AdaptiveConfig] = None,
+        checkpoint: Union[SweepCheckpoint, str, os.PathLike, None] = None,
+        resume: bool = False,
+    ) -> SweepArtifact:
+        """Run every point of ``sweep``; returns the aggregated artifact.
+
+        ``execution`` supplies the sweep seed and the engine knobs shared by
+        every point; each point runs under ``execution.replace(seed=<derived
+        point seed>)``.  With ``adaptive``, ``execution.repetitions`` must be
+        unset (the rounds choose it per point).
+        """
+        execution = (execution or ExecutionConfig()).resolved()
+        if adaptive is not None and execution.repetitions is not None:
+            raise ValueError(
+                "adaptive precision chooses repetitions per point; do not also "
+                f"pin execution.repetitions={execution.repetitions}"
+            )
+        points = sweep.points()
+        digest = sweep_digest(sweep, points, execution.seed)
+
+        if isinstance(checkpoint, (str, os.PathLike)):
+            checkpoint = SweepCheckpoint(checkpoint)
+        if resume and checkpoint is None:
+            raise ValueError("resume=True requires a sweep checkpoint")
+        restored: Dict[int, SweepPoint] = {}
+        if checkpoint is not None:
+            if resume:
+                restored = checkpoint.load(digest, sweep, execution.seed, len(points))
+            else:
+                checkpoint.reset(digest, sweep, execution.seed)
+
+        start = time.perf_counter()
+        completed: List[SweepPoint] = []
+        done = len(restored)
+        if self.progress is not None and done:
+            self.progress(done, len(points))
+        for index, params in enumerate(points):
+            if index in restored:
+                completed.append(restored[index])
+                continue
+            point = self._run_point(sweep, index, params, execution, adaptive)
+            completed.append(point)
+            if checkpoint is not None:
+                checkpoint.append(point)
+            done += 1
+            if self.progress is not None:
+                self.progress(done, len(points))
+
+        return SweepArtifact(
+            sweep=sweep,
+            execution=execution,
+            points=sorted(completed, key=lambda point: point.index),
+            target_ci=None if adaptive is None else adaptive.target_ci,
+            wall_time_s=time.perf_counter() - start,
+        )
+
+    # -- single-point execution ------------------------------------------- #
+    def _point_execution(
+        self, execution: ExecutionConfig, index: int, seed: int
+    ) -> ExecutionConfig:
+        changes: Dict[str, Any] = {"seed": seed}
+        if execution.checkpoint_dir is not None:
+            # Per-point campaign checkpoint subdirectories: two points of the
+            # same experiment reuse campaign names, and their seeds differ,
+            # so sharing one directory would trip the header guard.
+            changes["checkpoint_dir"] = execution.checkpoint_dir / f"point-{index:04d}"
+        return execution.replace(**changes)
+
+    def _run_point(
+        self,
+        sweep: SweepSpec,
+        index: int,
+        params: Dict[str, Any],
+        execution: ExecutionConfig,
+        adaptive: Optional[AdaptiveConfig],
+    ) -> SweepPoint:
+        from repro import api
+        from repro.store import artifact_key
+
+        seed = derive_point_seed(execution.seed, sweep.experiment, params)
+        point_execution = self._point_execution(execution, index, seed)
+        spec = sweep.spec
+        executed_before = executed_trial_count()
+
+        if adaptive is None:
+            artifact, digest, was_cached = self._run_cached(spec, params, point_execution)
+            return SweepPoint(
+                index=index,
+                params=params,
+                seed=seed,
+                artifact=artifact,
+                digest=digest,
+                cache_hit=was_cached,
+                executed_trials=executed_trial_count() - executed_before,
+            )
+
+        artifact, digest, was_cached, rounds, half_width = self._run_adaptive(
+            spec, params, point_execution, adaptive
+        )
+        return SweepPoint(
+            index=index,
+            params=params,
+            seed=seed,
+            artifact=artifact,
+            digest=digest,
+            cache_hit=was_cached,
+            executed_trials=executed_trial_count() - executed_before,
+            adaptive_rounds=rounds,
+            ci_half_width=half_width,
+        )
+
+    def _run_cached(self, spec, params: Dict[str, Any], execution: ExecutionConfig):
+        """One cached experiment run: ``(artifact, digest, served_from_store)``.
+
+        A ``reuse`` hit is decided by actually *loading* the stored artifact
+        (exactly what ``api.run`` would serve), so a corrupt or truncated
+        object file counts as the miss it is — the point is recomputed and
+        honestly reported as ``cache_hit=False``.
+        """
+        from repro import api
+        from repro.store import artifact_key
+
+        digest = None
+        if self.store is not None:
+            digest = artifact_key(spec.name, params, execution)
+            if self.cache == "reuse":
+                hit = self.store.get(digest)
+                if hit is not None:
+                    return hit, digest, True
+        artifact = api.run(
+            spec, params, execution=execution, cache=self.cache, store=self.store
+        )
+        return artifact, digest, False
+
+    def _run_adaptive(
+        self,
+        spec,
+        params: Dict[str, Any],
+        point_execution: ExecutionConfig,
+        adaptive: AdaptiveConfig,
+    ):
+        """Measure one point in growing rounds until the CI target is met.
+
+        Each round is an ordinary fixed-repetition ``api.run`` (cached under
+        its own key), so the final artifact *is* a fixed-repetition run —
+        adaptive sampling changes how many trials are spent, never what any
+        given repetition count computes.
+        """
+        repetitions = adaptive.initial_repetitions
+        rounds = 0
+        while True:
+            rounds += 1
+            round_execution = point_execution.replace(repetitions=repetitions)
+            artifact, digest, final_round_cached = self._run_cached(
+                spec, params, round_execution
+            )
+            headline = _headline_rows(artifact, repetitions)
+            if not headline:
+                raise ValueError(
+                    f"experiment {spec.name!r} reports no success_rate/repetitions "
+                    "headline rows; adaptive repetitions need a failure-rate metric "
+                    "to target"
+                )
+            worst_successes, worst_trials = max(
+                headline, key=lambda pair: wilson_half_width(pair[0], pair[1])
+            )
+            half_width = wilson_half_width(worst_successes, worst_trials)
+            next_repetitions = next_adaptive_repetitions(
+                worst_successes,
+                worst_trials,
+                adaptive.target_ci,
+                growth=adaptive.growth,
+                max_trials=adaptive.max_repetitions,
+            )
+            if next_repetitions is None or next_repetitions <= repetitions:
+                return artifact, digest, final_round_cached, rounds, half_width
+            repetitions = next_repetitions

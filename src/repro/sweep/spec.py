@@ -1,0 +1,236 @@
+"""Declarative sweep definitions over registered experiment parameters.
+
+A :class:`SweepSpec` names one registered
+:class:`~repro.experiments.registry.ExperimentSpec` and describes a set of
+*points* — fully resolved parameter dicts — built from typed axes:
+
+* ``grid`` — the Cartesian product of the axes, in declaration order (the
+  last axis varies fastest, like nested for-loops).
+* ``zip`` — the axes advance in lockstep (all must have equal length).
+* ``random`` — ``samples`` points drawn uniformly (with replacement) from
+  each axis's values, using a dedicated ``sample_seed`` so the draw is
+  independent of the execution seed.
+
+Every axis name and value is validated against the experiment's parameter
+schema at construction, so a typo'd parameter or an out-of-choices value
+fails before anything runs.  ``base_params`` pins the non-swept parameters
+(e.g. ``fast=True``) for every point.
+
+Point enumeration is deterministic, but nothing downstream depends on the
+*order*: per-point campaign seeds derive from each point's parameter
+identity (see :func:`repro.sweep.runner.derive_point_seed`), so reordering
+or extending a sweep never changes the numbers of the points it shares with
+another sweep.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.experiments.registry import ExperimentSpec, ParamSpec, get_spec
+
+__all__ = ["SWEEP_MODES", "SweepSpec", "coerce_param_value"]
+
+#: Valid sweep modes.
+SWEEP_MODES = ("grid", "zip", "random")
+
+#: Accepted spellings for CLI-style boolean values.
+_BOOL_WORDS = {
+    "true": True, "1": True, "yes": True, "on": True,
+    "false": False, "0": False, "no": False, "off": False,
+}
+
+
+def coerce_param_value(param: ParamSpec, value: Any) -> Any:
+    """Validate one axis value, additionally accepting CLI bool spellings.
+
+    :meth:`ParamSpec.validate` insists on real ``bool`` objects; sweep axes
+    frequently arrive as ``--grid fast=true,false`` strings, so boolean
+    parameters also accept ``true/false/1/0/yes/no/on/off`` here.
+    """
+    if param.type is bool and isinstance(value, str):
+        try:
+            value = _BOOL_WORDS[value.strip().lower()]
+        except KeyError:
+            raise ValueError(
+                f"parameter {param.name!r}: cannot parse bool from {value!r} "
+                f"(use true/false)"
+            ) from None
+    return param.validate(value)
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A validated set of experiment points for one registered spec.
+
+    Build via the :meth:`grid` / :meth:`zipped` / :meth:`random`
+    constructors, or directly with ``axes`` as ``(name, values)`` pairs.
+    """
+
+    experiment: str
+    axes: Tuple[Tuple[str, Tuple[Any, ...]], ...]
+    mode: str = "grid"
+    base_params: Tuple[Tuple[str, Any], ...] = ()
+    samples: Optional[int] = None
+    sample_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.mode not in SWEEP_MODES:
+            raise ValueError(f"mode must be one of {SWEEP_MODES}, got {self.mode!r}")
+        spec = self.spec  # raises KeyError for unknown experiments
+        seen: Dict[str, None] = {}
+        validated_axes = []
+        for name, values in self.axes:
+            param = spec.param(name)
+            if name in seen:
+                raise ValueError(f"duplicate sweep axis {name!r}")
+            seen[name] = None
+            values = tuple(coerce_param_value(param, value) for value in values)
+            if not values:
+                raise ValueError(f"sweep axis {name!r} has no values")
+            validated_axes.append((name, values))
+        if not validated_axes:
+            raise ValueError("a sweep needs at least one axis")
+        object.__setattr__(self, "axes", tuple(validated_axes))
+
+        validated_base = []
+        for name, value in dict(self.base_params).items():
+            if name in seen:
+                raise ValueError(f"parameter {name!r} is both an axis and a base param")
+            validated_base.append((name, coerce_param_value(spec.param(name), value)))
+        object.__setattr__(self, "base_params", tuple(validated_base))
+
+        if self.mode == "zip":
+            lengths = {name: len(values) for name, values in self.axes}
+            if len(set(lengths.values())) > 1:
+                raise ValueError(f"zip axes must have equal lengths, got {lengths}")
+            if self.samples is not None:
+                raise ValueError("samples= only applies to random sweeps")
+        elif self.mode == "random":
+            if self.samples is None or self.samples < 1:
+                raise ValueError(
+                    f"random sweeps need samples >= 1, got {self.samples!r}"
+                )
+        elif self.samples is not None:
+            raise ValueError("samples= only applies to random sweeps")
+
+    # -- constructors ---------------------------------------------------- #
+    @classmethod
+    def grid(
+        cls,
+        experiment: str,
+        base_params: Optional[Mapping[str, Any]] = None,
+        **axes: Sequence[Any],
+    ) -> "SweepSpec":
+        """Cartesian-product sweep: ``SweepSpec.grid("fig5.inference", approach=["nn"])``."""
+        return cls(
+            experiment=experiment,
+            axes=tuple((name, tuple(values)) for name, values in axes.items()),
+            mode="grid",
+            base_params=tuple((base_params or {}).items()),
+        )
+
+    @classmethod
+    def zipped(
+        cls,
+        experiment: str,
+        base_params: Optional[Mapping[str, Any]] = None,
+        **axes: Sequence[Any],
+    ) -> "SweepSpec":
+        """Lockstep sweep: point ``i`` takes the ``i``-th value of every axis."""
+        return cls(
+            experiment=experiment,
+            axes=tuple((name, tuple(values)) for name, values in axes.items()),
+            mode="zip",
+            base_params=tuple((base_params or {}).items()),
+        )
+
+    @classmethod
+    def random(
+        cls,
+        experiment: str,
+        samples: int,
+        sample_seed: int = 0,
+        base_params: Optional[Mapping[str, Any]] = None,
+        **axes: Sequence[Any],
+    ) -> "SweepSpec":
+        """Random search: ``samples`` points drawn uniformly from each axis."""
+        return cls(
+            experiment=experiment,
+            axes=tuple((name, tuple(values)) for name, values in axes.items()),
+            mode="random",
+            base_params=tuple((base_params or {}).items()),
+            samples=samples,
+            sample_seed=sample_seed,
+        )
+
+    # -- derived --------------------------------------------------------- #
+    @property
+    def spec(self) -> ExperimentSpec:
+        """The registered experiment spec this sweep runs."""
+        return get_spec(self.experiment)
+
+    def points(self) -> List[Dict[str, Any]]:
+        """The fully resolved parameter dict of every sweep point, in order.
+
+        Each point merges the spec defaults, ``base_params`` and the axis
+        assignment, then validates through
+        :meth:`~repro.experiments.registry.ExperimentSpec.resolve_params` —
+        so a point dict is exactly what ``api.run(name, params=point)``
+        would resolve.  Random sweeps may repeat an assignment; repeated
+        points are the *same* point (same derived seed, same cache key).
+        """
+        spec = self.spec
+        base = dict(self.base_params)
+        assignments: List[Dict[str, Any]]
+        if self.mode == "grid":
+            names = [name for name, _ in self.axes]
+            value_lists = [values for _, values in self.axes]
+            assignments = [
+                dict(zip(names, combo)) for combo in itertools.product(*value_lists)
+            ]
+        elif self.mode == "zip":
+            length = len(self.axes[0][1])
+            assignments = [
+                {name: values[i] for name, values in self.axes} for i in range(length)
+            ]
+        else:  # random
+            rng = np.random.default_rng(np.random.SeedSequence(self.sample_seed))
+            assignments = []
+            for _ in range(self.samples):
+                assignment = {}
+                for name, values in self.axes:
+                    assignment[name] = values[int(rng.integers(len(values)))]
+                assignments.append(assignment)
+        return [spec.resolve_params({**base, **assignment}) for assignment in assignments]
+
+    def describe(self) -> str:
+        """One-line human rendering, e.g. ``grid over approach x fast (4 points)``."""
+        names = " x ".join(name for name, _ in self.axes)
+        return f"{self.mode} over {names} ({len(self.points())} points)"
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        """JSON-safe description (embedded in sweep artifacts and checkpoints)."""
+        return {
+            "experiment": self.experiment,
+            "mode": self.mode,
+            "axes": [[name, list(values)] for name, values in self.axes],
+            "base_params": dict(self.base_params),
+            "samples": self.samples,
+            "sample_seed": self.sample_seed,
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: Mapping[str, Any]) -> "SweepSpec":
+        return cls(
+            experiment=str(data["experiment"]),
+            axes=tuple((str(name), tuple(values)) for name, values in data["axes"]),
+            mode=str(data.get("mode", "grid")),
+            base_params=tuple(dict(data.get("base_params") or {}).items()),
+            samples=data.get("samples"),
+            sample_seed=int(data.get("sample_seed", 0)),
+        )

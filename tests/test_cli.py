@@ -182,3 +182,110 @@ class TestEndToEnd:
         assert artifact.spec_name == "fig3.return_curves"
         assert artifact.params["fast"] is True
         assert artifact.engine == "serial"
+
+
+class TestListJson:
+    def test_machine_readable_listing(self, capsys):
+        import json
+
+        assert main(["list", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        by_name = {spec["name"]: spec for spec in data}
+        assert set(by_name) == {spec.name for spec in list_specs()}
+        fig5 = by_name["fig5.inference"]
+        assert fig5["figure"] == "fig5" and fig5["batched"] is True
+        params = {p["name"]: p for p in fig5["params"]}
+        assert params["approach"]["choices"] == ["tabular", "nn"]
+        assert params["episodes_per_trial"]["type"] == "int"
+        assert params["fast"]["default"] is False
+
+    def test_plain_listing_unchanged(self, capsys):
+        assert main(["list"]) == 0
+        assert "Registered experiment specs:" in capsys.readouterr().out
+
+
+class TestSweepCli:
+    def test_sweep_help_lists_axes_cache_and_adaptive_flags(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", "--help"])
+        assert excinfo.value.code == 0
+        text = capsys.readouterr().out
+        for flag in (
+            "--grid", "--zip", "--random", "--samples", "--set",
+            "--cache", "--store", "--sweep-checkpoint",
+            "--target-ci", "--max-reps", "--workers", "--batch-size",
+        ):
+            assert flag in text
+
+    def test_sweep_requires_exactly_one_axis_family(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", "synthetic.bernoulli"])
+        assert excinfo.value.code == 2
+        assert "--grid / --zip / --random" in capsys.readouterr().err
+        with pytest.raises(SystemExit):
+            main(["sweep", "synthetic.bernoulli", "--grid", "p=0.1",
+                  "--zip", "label=a"])
+
+    def test_sweep_rejects_malformed_axis_and_unknown_spec(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["sweep", "synthetic.bernoulli", "--grid", "p"])
+        assert "param=v1,v2" in capsys.readouterr().err
+        with pytest.raises(SystemExit):
+            main(["sweep", "no.such.spec", "--grid", "p=0.5"])
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_sweep_end_to_end_with_cache_and_artifact(self, tmp_path, capsys):
+        import sweep_testlib  # registers synthetic.bernoulli
+        from repro.sweep import SweepArtifact
+
+        argv = [
+            "sweep", "synthetic.bernoulli",
+            "--grid", "p=0.25,0.75",
+            "--set", "label=cli",
+            "--reps", "4", "--seed", "3",
+            "--store", str(tmp_path / "store"),
+            "--out-dir", str(tmp_path / "out"),
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "2 points, 0 cache hit(s), 8 trial(s) executed" in out
+        written = list((tmp_path / "out").glob("sweep_*.json"))
+        assert len(written) == 1
+        artifact = SweepArtifact.from_json(written[0])
+        assert len(artifact.points) == 2
+        assert artifact.points[0].params["label"] == "cli"
+
+        # Second invocation: every point served from the store.
+        assert main(argv) == 0
+        assert "2 cache hit(s), 0 trial(s) executed" in capsys.readouterr().out
+
+    def test_sweep_resume_with_campaign_checkpoint_dir_only(self, tmp_path, capsys):
+        # Regression: --resume used to be forwarded as sweep-level resume
+        # even without --sweep-checkpoint, so the documented campaign-level
+        # "--checkpoint-dir DIR --resume" combination errored out.
+        argv = [
+            "sweep", "synthetic.bernoulli",
+            "--grid", "p=0.5",
+            "--reps", "3", "--seed", "3", "--cache", "off",
+            "--checkpoint-dir", str(tmp_path / "campaigns"),
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv + ["--resume"]) == 0
+        second = capsys.readouterr().out
+        assert "0 cache hit(s), 0 trial(s) executed" in second  # campaigns resumed
+        # per-point campaign checkpoints land in point-<i> subdirectories
+        assert (tmp_path / "campaigns" / "point-0000").is_dir()
+
+    def test_sweep_adaptive_reps_auto(self, tmp_path, capsys):
+        argv = [
+            "sweep", "synthetic.bernoulli",
+            "--grid", "p=0.5",
+            "--reps", "auto", "--target-ci", "0.25", "--initial-reps", "4",
+            "--max-reps", "32", "--seed", "3",
+            "--store", str(tmp_path / "store"),
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "adaptive_rounds" in out
+        assert "ci_half_width" in out

@@ -176,3 +176,103 @@ class TestHeatmapRendering:
             render_heatmap(np.zeros((2, 2)), ["a"], ["b", "c"])
         with pytest.raises(ValueError):
             render_heatmap(np.zeros(3), ["a"], ["b"])
+
+
+class TestJsonSanitize:
+    """Regression: numpy scalars/arrays in payloads round-trip losslessly.
+
+    The content-addressed artifact store digests serialized artifacts, so a
+    ``np.int64`` cell that serialized as ``1000.0`` (the old
+    ``default=float`` behaviour) would change both the JSON type and the
+    digest across a round-trip.
+    """
+
+    def test_json_ready_converts_numpy_losslessly(self):
+        from repro.io import json_ready
+
+        payload = json_ready(
+            {
+                "i": np.int64(1000),
+                "f": np.float32(0.5),
+                "b": np.bool_(True),
+                "arr": np.array([[1, 2], [3, 4]]),
+                "nested": [np.int16(3), (np.float64(2.5),)],
+            }
+        )
+        assert payload == {
+            "i": 1000,
+            "f": 0.5,
+            "b": True,
+            "arr": [[1, 2], [3, 4]],
+            "nested": [3, [2.5]],
+        }
+        assert type(payload["i"]) is int
+        assert type(payload["b"]) is bool
+        round_tripped = json.loads(json.dumps(payload))
+        assert round_tripped == payload
+
+    def test_canonical_json_ignores_order_and_numpy_types(self):
+        from repro.io import canonical_json
+
+        assert canonical_json({"a": np.int64(1), "b": 2}) == canonical_json(
+            {"b": np.int64(2), "a": 1}
+        )
+
+    def test_result_table_rows_round_trip_losslessly(self):
+        table = ResultTable(title="t")
+        table.add(reps=np.int64(1000), rate=np.float64(0.25), ok=np.bool_(False),
+                  hist=np.array([1, 2, 3]))
+        again = ResultTable.from_json(table.to_json())
+        (row,) = again.rows
+        assert row == {"reps": 1000, "rate": 0.25, "ok": False, "hist": [1, 2, 3]}
+        assert type(row["reps"]) is int and type(row["ok"]) is bool
+        # idempotent: a second round-trip serializes byte-identically
+        assert again.to_json() == table.to_json()
+
+    def test_series_result_round_trips_numpy_values(self):
+        series = SeriesResult(title="s", x_label="x",
+                              x_values=list(np.arange(3, dtype=np.int64)))
+        series.add_series("y", np.linspace(0, 1, 3))
+        again = SeriesResult.from_json(series.to_json())
+        assert again.x_values == [0, 1, 2]
+        assert all(type(x) is int for x in again.x_values)
+        assert again.to_json() == series.to_json()
+
+    def test_experiment_artifact_round_trips_numpy_params(self):
+        from repro.api import ExecutionConfig, ExperimentArtifact
+
+        table = ResultTable(title="t")
+        table.add(success_rate=np.float64(0.5), repetitions=np.int64(10))
+        artifact = ExperimentArtifact(
+            spec_name="fig5.inference",
+            params={"episodes_per_trial": np.int64(5), "fast": np.bool_(True)},
+            execution=ExecutionConfig(seed=1, repetitions=10),
+            wall_time_s=0.5,
+            result=table,
+        )
+        again = ExperimentArtifact.from_json(artifact.to_json())
+        assert again.params == {"episodes_per_trial": 5, "fast": True}
+        assert type(again.params["episodes_per_trial"]) is int
+        assert type(again.params["fast"]) is bool
+        assert again.to_json_dict() == artifact.to_json_dict()
+
+    def test_campaign_checkpoint_lines_keep_numpy_types_lossless(self, tmp_path):
+        from repro.core.campaign import TrialOutcome
+        from repro.io import CampaignCheckpoint
+
+        checkpoint = CampaignCheckpoint(tmp_path / "c.jsonl")
+        checkpoint.path.parent.mkdir(parents=True, exist_ok=True)
+        checkpoint.path.write_text("")
+        outcome = TrialOutcome(
+            success=np.bool_(True),
+            metric=np.float64(0.25),
+            extras={"flips": np.int64(3)},
+        )
+        checkpoint.append(np.int64(7), outcome)
+        line = checkpoint.path.read_text().splitlines()[-1]
+        record = json.loads(line)
+        assert record == {
+            "index": 7,
+            "outcome": {"success": True, "metric": 0.25, "extras": {"flips": 3}},
+        }
+        assert type(record["outcome"]["success"]) is bool

@@ -1,0 +1,148 @@
+"""Property tests for the Wilson / sequential-interval statistics helpers.
+
+The adaptive sweep sampler stops a campaign when
+:func:`~repro.metrics.statistics.wilson_half_width` drops below its target,
+so these helpers carry real precision guarantees: the tests check interval
+coverage against simulated binomials, strict monotonicity of the half-width
+in the trial count, the ``p = 0`` / ``p = 1`` edge cases where the normal
+approximation collapses, and the growth/termination contract of
+:func:`~repro.metrics.statistics.next_adaptive_repetitions`.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.statistics import (
+    next_adaptive_repetitions,
+    required_trials,
+    wilson_confidence_interval,
+    wilson_half_width,
+)
+
+
+class TestWilsonHalfWidth:
+    @given(
+        trials=st.integers(min_value=1, max_value=10_000),
+        rate=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_matches_interval_and_stays_in_unit_range(self, trials, rate):
+        successes = rate * trials
+        half = wilson_half_width(successes, trials)
+        low, high = wilson_confidence_interval(successes, trials)
+        assert 0.0 < half < 1.0
+        # The interval is the (clipped) centre +/- half-width.
+        assert high - low <= 2 * half + 1e-12
+        assert 0.0 <= low <= high <= 1.0
+
+    @given(rate=st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=100, deadline=None)
+    def test_strictly_monotonic_in_trials(self, rate):
+        # More trials at the same proportion always tightens the interval —
+        # the property the measure-until-precise loop terminates on.
+        widths = [wilson_half_width(rate * n, n) for n in (2, 8, 32, 128, 512, 4096)]
+        assert all(a > b for a, b in zip(widths, widths[1:]))
+
+    @pytest.mark.parametrize("n", [1, 10, 1000])
+    def test_edge_proportions_zero_and_one(self, n):
+        # Degenerate observations still give a positive, symmetric width
+        # (the normal approximation would claim zero uncertainty here).
+        at_zero = wilson_half_width(0, n)
+        at_one = wilson_half_width(n, n)
+        assert at_zero == pytest.approx(at_one)
+        assert 0.0 < at_zero < 1.0
+        low, high = wilson_confidence_interval(0, n)
+        assert low == 0.0 and high > 0.0
+        low, high = wilson_confidence_interval(n, n)
+        assert high == 1.0 and low < 1.0
+
+    def test_worst_case_at_half(self):
+        # p = 0.5 maximizes the width at any fixed n.
+        n = 100
+        widths = {k: wilson_half_width(k, n) for k in range(n + 1)}
+        assert max(widths, key=widths.get) == n // 2
+
+    def test_fractional_successes_accepted(self):
+        # Campaign rows report mean success rates; effective counts may be
+        # fractional and must interpolate smoothly.
+        assert (
+            wilson_half_width(4, 10)
+            < wilson_half_width(4.5, 10)
+            <= wilson_half_width(5, 10)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            wilson_half_width(1, 0)
+        with pytest.raises(ValueError):
+            wilson_half_width(-0.1, 10)
+        with pytest.raises(ValueError):
+            wilson_half_width(10.5, 10)
+
+    @pytest.mark.parametrize("p", [0.1, 0.5, 0.9])
+    def test_coverage_of_simulated_binomials(self, p):
+        # Frequentist coverage: the nominal-95% interval must cover the true
+        # p in (at least roughly) 95% of seeded replications.
+        rng = np.random.default_rng(20260728)
+        n, replications = 120, 400
+        covered = 0
+        for _ in range(replications):
+            successes = int(rng.binomial(n, p))
+            low, high = wilson_confidence_interval(successes, n)
+            covered += low <= p <= high
+        assert covered / replications >= 0.92
+
+    def test_required_trials_achieves_target_width(self):
+        # required_trials is the planner the adaptive loop jumps with: at
+        # the planned n, the Wilson width must (approximately) meet the
+        # target for the planned proportion.
+        for p, target in [(0.5, 0.05), (0.9, 0.02), (0.2, 0.1)]:
+            n = required_trials(target, p)
+            assert wilson_half_width(p * n, n) <= target * 1.05
+
+
+class TestNextAdaptiveRepetitions:
+    def test_none_when_target_met(self):
+        assert next_adaptive_repetitions(9000, 10_000, 0.05) is None
+
+    def test_grows_by_at_least_growth_factor(self):
+        nxt = next_adaptive_repetitions(1, 2, 0.01, growth=2.0)
+        assert nxt >= 4
+
+    def test_jumps_to_requirement_when_estimate_demands_it(self):
+        # p-hat = 0.5 at n=10 with a 1% target plans thousands of trials,
+        # far beyond the 2x floor.
+        nxt = next_adaptive_repetitions(5, 10, 0.01)
+        assert nxt >= required_trials(0.01, 0.5)
+
+    def test_respects_max_trials_budget(self):
+        assert next_adaptive_repetitions(5, 10, 0.01, max_trials=64) == 64
+        # At the budget, the loop must stop even though the target is unmet.
+        assert next_adaptive_repetitions(32, 64, 0.01, max_trials=64) is None
+
+    @given(
+        trials=st.integers(min_value=1, max_value=1000),
+        rate=st.floats(min_value=0.0, max_value=1.0),
+        target=st.floats(min_value=0.005, max_value=0.5),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_termination_invariant(self, trials, rate, target):
+        # Either the loop stops, or the next round is strictly larger —
+        # the pair of facts that guarantees adaptive sampling terminates.
+        nxt = next_adaptive_repetitions(rate * trials, trials, target)
+        if nxt is None:
+            assert wilson_half_width(rate * trials, trials) <= target
+        else:
+            assert nxt >= math.ceil(trials * 2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            next_adaptive_repetitions(1, 2, 0.0)
+        with pytest.raises(ValueError):
+            next_adaptive_repetitions(1, 2, 1.0)
+        with pytest.raises(ValueError):
+            next_adaptive_repetitions(1, 2, 0.1, growth=1.0)

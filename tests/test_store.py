@@ -1,0 +1,235 @@
+"""Tests for the content-addressed artifact store (``repro.store``).
+
+Covers key canonicalization (param order, numpy scalar types and engine
+knobs wash out; seed / repetitions / scale / code fingerprint do not),
+provenance-preserving put/get round-trips, query/evict, index rebuild from
+the object files, and the ``cache=`` policy threading through ``api.run``.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+import sweep_testlib
+from repro import api
+from repro.api import ExecutionConfig
+from repro.core.runner import executed_trial_count
+from repro.store import (
+    ArtifactStore,
+    artifact_key,
+    code_fingerprint,
+    default_store_root,
+    resolve_store,
+    validate_cache_policy,
+)
+
+SPEC = sweep_testlib.SPEC_NAME
+
+
+def _run(store=None, cache="off", seed=0, reps=4, **params):
+    return api.run(
+        SPEC,
+        params=dict(params),
+        execution=ExecutionConfig(seed=seed, repetitions=reps),
+        cache=cache,
+        store=store,
+    )
+
+
+class TestArtifactKey:
+    def test_param_order_and_numpy_types_wash_out(self):
+        execution = ExecutionConfig(seed=1, repetitions=4)
+        base = artifact_key(SPEC, {"p": 0.5, "label": "a"}, execution)
+        assert artifact_key(SPEC, {"label": "a", "p": 0.5}, execution) == base
+        assert (
+            artifact_key(SPEC, {"p": np.float64(0.5), "label": "a"}, execution) == base
+        )
+
+    def test_engine_and_checkpoint_knobs_excluded(self):
+        # Engines are bit-identical, so a serial result is a valid hit for a
+        # batched/parallel run of the same campaign.
+        base = artifact_key(SPEC, {"p": 0.5}, ExecutionConfig(seed=1, repetitions=4))
+        assert (
+            artifact_key(
+                SPEC,
+                {"p": 0.5},
+                ExecutionConfig(
+                    seed=1, repetitions=4, workers=3, batch_size=8,
+                    checkpoint_dir="runs", resume=True,
+                ),
+            )
+            == base
+        )
+
+    @pytest.mark.parametrize(
+        "changed",
+        [
+            {"seed": 2},
+            {"repetitions": 5},
+            {"scale": "medium"},
+        ],
+    )
+    def test_numeric_identity_fields_change_the_key(self, changed):
+        base = artifact_key(SPEC, {"p": 0.5}, ExecutionConfig(seed=1, repetitions=4))
+        other = ExecutionConfig(**{"seed": 1, "repetitions": 4, **changed})
+        assert artifact_key(SPEC, {"p": 0.5}, other) != base
+
+    def test_params_and_spec_change_the_key(self):
+        execution = ExecutionConfig(seed=1, repetitions=4)
+        base = artifact_key(SPEC, {"p": 0.5}, execution)
+        assert artifact_key(SPEC, {"p": 0.6}, execution) != base
+        assert artifact_key("fig5.inference", {"p": 0.5}, execution) != base
+
+    def test_code_fingerprint_changes_the_key(self):
+        execution = ExecutionConfig(seed=1, repetitions=4)
+        base = artifact_key(SPEC, {"p": 0.5}, execution)
+        other = artifact_key(SPEC, {"p": 0.5}, execution, fingerprint="deadbeef")
+        assert base == artifact_key(SPEC, {"p": 0.5}, execution, code_fingerprint())
+        assert other != base
+
+    def test_reps_env_included_when_repetitions_deferred(self, monkeypatch):
+        execution = ExecutionConfig(seed=1)  # repetitions=None -> preset/env
+        monkeypatch.delenv("REPRO_CAMPAIGN_REPS", raising=False)
+        base = artifact_key(SPEC, {"p": 0.5}, execution)
+        monkeypatch.setenv("REPRO_CAMPAIGN_REPS", "17")
+        assert artifact_key(SPEC, {"p": 0.5}, execution) != base
+        # ...but an explicit repetition count ignores the env entirely.
+        pinned = ExecutionConfig(seed=1, repetitions=4)
+        monkeypatch.setenv("REPRO_CAMPAIGN_REPS", "99")
+        key_a = artifact_key(SPEC, {"p": 0.5}, pinned)
+        monkeypatch.delenv("REPRO_CAMPAIGN_REPS")
+        assert artifact_key(SPEC, {"p": 0.5}, pinned) == key_a
+
+
+class TestArtifactStore:
+    def test_put_get_round_trip_preserves_provenance(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        artifact = _run(p=0.5, label="x")
+        entry = store.put(artifact)
+        loaded = store.get(entry.digest)
+        assert loaded is not None
+        assert loaded.to_json_dict() == artifact.to_json_dict()
+        assert store.contains(entry.digest)
+        assert len(store) == 1
+
+    def test_get_miss_and_corrupt_object(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        assert store.get("0" * 64) is None
+        artifact = _run(p=0.5)
+        entry = store.put(artifact)
+        store.object_path(entry.digest).write_text("{not json")
+        assert store.get(entry.digest) is None  # corrupt = miss, never error
+
+    def test_query_by_spec_and_params(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        store.put(_run(p=0.25, label="x"))
+        store.put(_run(p=0.75, label="x"))
+        store.put(_run(p=0.75, label="y"))
+        assert len(store.query(SPEC)) == 3
+        assert len(store.query(SPEC, p=0.75)) == 2
+        assert len(store.query(SPEC, p=0.75, label="y")) == 1
+        assert store.query("fig5.inference") == []
+        # numpy-typed query values canonicalize like stored params do
+        assert len(store.query(SPEC, p=np.float64(0.25))) == 1
+
+    def test_evict(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        e1 = store.put(_run(p=0.25))
+        store.put(_run(p=0.75))
+        assert store.evict(e1.digest) == 1
+        assert not store.contains(e1.digest)
+        assert len(store) == 1
+        assert store.evict(spec=SPEC) == 1
+        assert len(store) == 0
+        store.put(_run(p=0.3))
+        assert store.evict() == 1  # clear-all
+        assert len(store) == 0
+
+    def test_index_rebuilds_from_objects(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        entry = store.put(_run(p=0.5, label="x"))
+        store.index_path.unlink()
+        rebuilt = ArtifactStore(tmp_path / "store")
+        assert [e.digest for e in rebuilt.entries()] == [entry.digest]
+        assert rebuilt.query(SPEC, label="x")[0].digest == entry.digest
+        # A corrupt index is also recovered from, not fatal.
+        store.index_path.write_text("garbage")
+        assert len(ArtifactStore(tmp_path / "store")) == 1
+
+    def test_resolve_store_and_default_root(self, tmp_path, monkeypatch):
+        store = ArtifactStore(tmp_path)
+        assert resolve_store(store) is store
+        assert resolve_store(tmp_path / "x").root == tmp_path / "x"
+        monkeypatch.setenv("REPRO_STORE_DIR", str(tmp_path / "env-store"))
+        assert default_store_root() == tmp_path / "env-store"
+        assert resolve_store(None).root == tmp_path / "env-store"
+
+    def test_validate_cache_policy(self):
+        for policy in ("reuse", "refresh", "off"):
+            assert validate_cache_policy(policy) == policy
+        with pytest.raises(ValueError, match="cache"):
+            validate_cache_policy("sometimes")
+
+
+class TestRunCachePolicy:
+    def test_reuse_serves_identical_artifact_with_zero_trials(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        cold = _run(store=store, cache="reuse", p=0.4, label="z")
+        before = executed_trial_count()
+        warm = _run(store=store, cache="reuse", p=0.4, label="z")
+        assert executed_trial_count() == before  # nothing ran
+        assert warm.to_json_dict() == cold.to_json_dict()
+
+    def test_refresh_recomputes_and_overwrites(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        cold = _run(store=store, cache="reuse", p=0.4)
+        before = executed_trial_count()
+        refreshed = _run(store=store, cache="refresh", p=0.4)
+        assert executed_trial_count() > before
+        assert refreshed.result.to_json_dict() == cold.result.to_json_dict()
+        assert len(store) == 1
+
+    def test_off_never_touches_the_store(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        _run(cache="off", p=0.4)
+        assert len(store) == 0
+        with pytest.raises(TypeError, match="cache='off'"):
+            _run(store=store, cache="off", p=0.4)
+
+    def test_cached_result_bit_identical_across_engines(self, tmp_path):
+        # A serial result must be a legitimate hit for a batched+parallel
+        # request: same key, and the numbers would have matched anyway.
+        store = ArtifactStore(tmp_path / "store")
+        serial = _run(store=store, cache="reuse", p=0.6, label="eng")
+        batched = api.run(
+            SPEC,
+            params={"p": 0.6, "label": "eng"},
+            execution=ExecutionConfig(seed=0, repetitions=4, workers=2, batch_size=2),
+            cache="reuse",
+            store=store,
+        )
+        assert batched.result.to_json_dict() == serial.result.to_json_dict()
+        assert len(store) == 1
+
+    def test_stale_fingerprint_misses(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        artifact = _run(p=0.4)
+        stale = artifact_key(SPEC, artifact.params, artifact.execution, "0ld")
+        store.put(artifact, digest=stale)
+        before = executed_trial_count()
+        _run(store=store, cache="reuse", p=0.4)
+        assert executed_trial_count() > before  # stale entry not served
+        assert len(store) == 2
+
+
+class TestIndexFile:
+    def test_index_is_valid_json_with_kind(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        store.put(_run(p=0.5))
+        data = json.loads(store.index_path.read_text())
+        assert data["kind"] == "repro-artifact-store-index"
+        assert len(data["entries"]) == 1
+        (meta,) = data["entries"].values()
+        assert meta["spec"] == SPEC
+        assert meta["params"]["p"] == 0.5
