@@ -19,6 +19,7 @@ import time
 import numpy as np
 import pytest
 
+from bench_snapshot_lib import write_snapshot
 from repro.core import BatchedRunner, Campaign, SerialRunner
 from repro.experiments.common import train_grid_nn, train_tabular
 from repro.experiments.config import GridNNConfig, GridTabularConfig
@@ -57,6 +58,16 @@ def _run_guardrail(trial, label):
         f"\nfig5 {label} campaign ({REPETITIONS} trials, single worker): "
         f"serial {serial_time:.2f}s, batched(B={BATCH_SIZE}) {batched_time:.2f}s "
         f"-> {speedup:.2f}x"
+    )
+    write_snapshot(
+        f"batched_fig5_{label}",
+        {
+            "repetitions": REPETITIONS,
+            "batch_size": BATCH_SIZE,
+            "serial_s": serial_time,
+            "batched_s": batched_time,
+            "speedup": speedup,
+        },
     )
     assert speedup >= 1.0, (
         f"batched fig5 {label} campaign is SLOWER than serial at B={BATCH_SIZE} "

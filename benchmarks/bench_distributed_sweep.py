@@ -1,0 +1,103 @@
+"""Distributed-sweep scaling guardrail.
+
+``DistributedSweepRunner`` exists to make multi-point sweeps faster by
+sharding points across worker processes; this module keeps that promise
+honest.  It runs the same compute-bound 8-point sweep cold (cache off)
+with one worker and with four, **fails if four workers are not at least
+2x faster than one** — while also asserting the two runs produce
+bit-identical per-point results — and records the measured times as a
+``BENCH_distributed_sweep.json`` snapshot (see ``bench_snapshot_lib``).
+
+The workload is a registered synthetic spec whose points each burn a fixed
+amount of *elementwise* numpy work: deterministic given the seed (so the
+bit-identity assertion is meaningful) and guaranteed single-threaded (so
+BLAS thread pools cannot silently parallelize the one-worker baseline and
+fake away the speedup).  Like the other guardrails this needs no
+pytest-benchmark plugin::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_distributed_sweep.py -q
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from bench_snapshot_lib import write_snapshot
+from repro.api.execution import ExecutionConfig
+from repro.experiments.registry import ParamSpec, register_experiment
+from repro.io.results import ResultTable
+from repro.sweep import DistributedSweepRunner, SweepSpec
+
+SPIN_SPEC = "synthetic.spin"
+
+#: Elementwise iterations per point (~0.3s each): long enough that the
+#: 8-point sweep dwarfs worker startup, short enough for CI.
+SPIN_UNITS = 800
+
+N_POINTS = 8
+
+#: The acceptance floor: 4 workers must beat 1 worker by at least this.
+MIN_SPEEDUP = 2.0
+
+
+@register_experiment(
+    SPIN_SPEC,
+    description="Compute-bound synthetic point (benchmark-only): burns "
+    "a fixed amount of single-threaded numpy work",
+    params=(
+        ParamSpec("point", int, 0, help="point id (cache-key salt)"),
+        ParamSpec("units", int, SPIN_UNITS, help="elementwise iterations to burn"),
+    ),
+)
+def run_spin(execution: ExecutionConfig, *, point: int, units: int) -> ResultTable:
+    rng = np.random.default_rng(execution.seed)
+    x = rng.random(65536)
+    for _ in range(units):
+        x = np.sin(x * 1.0001 + 0.01)
+    table = ResultTable(title=f"spin point {point}")
+    table.add(point=point, units=units, checksum=float(np.mean(x)))
+    return table
+
+
+def _sweep():
+    return SweepSpec.grid(SPIN_SPEC, point=list(range(N_POINTS)))
+
+
+def _timed_run(workers):
+    runner = DistributedSweepRunner(sweep_workers=workers, cache="off")
+    start = time.perf_counter()
+    artifact = runner.run(_sweep(), ExecutionConfig(seed=17, repetitions=1))
+    return time.perf_counter() - start, artifact
+
+
+@pytest.mark.skipif((os.cpu_count() or 1) < 4, reason="needs >= 4 CPUs")
+def test_four_workers_at_least_2x_one_worker():
+    one_s, one = _timed_run(1)
+    four_s, four = _timed_run(4)
+
+    assert [pt.artifact.result.to_json_dict() for pt in four.points] == [
+        pt.artifact.result.to_json_dict() for pt in one.points
+    ], "distributed runs diverged across worker counts — they must be bit-identical"
+
+    speedup = one_s / four_s
+    print(
+        f"\ndistributed sweep guardrail ({N_POINTS} compute-bound points): "
+        f"1 worker {one_s:.2f}s, 4 workers {four_s:.2f}s -> {speedup:.2f}x"
+    )
+    write_snapshot(
+        "distributed_sweep",
+        {
+            "n_points": N_POINTS,
+            "spin_units": SPIN_UNITS,
+            "one_worker_s": one_s,
+            "four_workers_s": four_s,
+            "speedup": speedup,
+            "min_speedup": MIN_SPEEDUP,
+        },
+    )
+    assert speedup >= MIN_SPEEDUP, (
+        f"4 workers only {speedup:.2f}x over 1 worker on a cold {N_POINTS}-point "
+        f"sweep (floor: {MIN_SPEEDUP}x); distributed scaling has regressed"
+    )

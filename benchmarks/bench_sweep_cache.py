@@ -19,6 +19,7 @@ runs it as a plain pytest invocation (see the "sweep-smoke" job in
 
 import time
 
+from bench_snapshot_lib import write_snapshot
 from repro import api
 from repro.api import ExecutionConfig
 from repro.core.runner import executed_trial_count
@@ -63,4 +64,15 @@ def test_warm_sweep_executes_zero_trials(tmp_path):
         f"\nsweep cache guardrail: cold {cold_s:.3f}s "
         f"({cold.executed_trials} trials) -> warm {warm_s:.3f}s (0 trials, "
         f"speedup x{cold_s / max(warm_s, 1e-9):.1f})"
+    )
+    write_snapshot(
+        "sweep_cache",
+        {
+            "n_points": len(cold.points),
+            "cold_s": cold_s,
+            "cold_trials": cold.executed_trials,
+            "warm_s": warm_s,
+            "warm_trials": executed,
+            "speedup": cold_s / max(warm_s, 1e-9),
+        },
     )

@@ -218,6 +218,16 @@ def _add_sweep_flags(parser: argparse.ArgumentParser) -> None:
         help="JSONL file recording completed sweep points; with --resume, "
         "points already recorded there are skipped",
     )
+    distributed = parser.add_argument_group("distributed execution")
+    distributed.add_argument(
+        "--sweep-workers",
+        default=None,
+        metavar="N",
+        help="shard the sweep's points across N worker processes pulling "
+        "from a shared work-stealing queue ('auto' = one per CPU); results "
+        "are bit-identical to the serial runner (default: "
+        "REPRO_SWEEP_WORKERS or 1)",
+    )
 
 
 def _flag_name(param: ParamSpec) -> str:
@@ -445,6 +455,7 @@ def _run_sweep(args, parser: argparse.ArgumentParser) -> int:
             cache=args.cache,
             store=args.store,
             checkpoint=args.sweep_checkpoint,
+            sweep_workers=args.sweep_workers,
             # --resume means "resume whatever was checkpointed": sweep-level
             # resume only applies when a sweep checkpoint exists (the
             # campaign-level --checkpoint-dir resume is handled by the

@@ -54,6 +54,7 @@ __all__ = [
     "default_workers",
     "default_batch_size",
     "executed_trial_count",
+    "record_executed_trials",
     "parse_worker_count",
     "parse_batch_size",
     "make_runner",
@@ -152,6 +153,22 @@ def executed_trial_count() -> int:
         assert executed_trial_count() - before == 0   # 100% cache hits
     """
     return EXECUTION_STATS.trials_executed
+
+
+def record_executed_trials(n: int) -> None:
+    """Fold externally executed trials into this process's counter.
+
+    The campaign engines bump the counter themselves, but they can only see
+    trials executed in *this* process (or its campaign pools).  The
+    distributed sweep runner executes whole points in worker processes and
+    ships each point's executed-trial count back in its result record; the
+    coordinator folds those counts in here so ``executed_trial_count()``
+    deltas — which the warm-cache guardrails are built on — stay truthful
+    regardless of where the trials physically ran.
+    """
+    if n < 0:
+        raise ValueError(f"executed trial count must be >= 0, got {n}")
+    EXECUTION_STATS.record(n)
 
 
 def supports_batching(trial_fn) -> bool:

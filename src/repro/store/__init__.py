@@ -15,6 +15,7 @@ from repro.store.artifact_store import (
     ArtifactStore,
     StoreEntry,
     artifact_key,
+    atomic_write_text,
     default_store_root,
     resolve_store,
     validate_cache_policy,
@@ -27,6 +28,7 @@ __all__ = [
     "ArtifactStore",
     "StoreEntry",
     "artifact_key",
+    "atomic_write_text",
     "code_fingerprint",
     "clear_fingerprint_cache",
     "default_store_root",

@@ -7,24 +7,38 @@ registered experiment's typed parameters (grid / zip / random), and a
 :class:`SweepRunner` executes them through the existing campaign engines
 with content-addressed caching (:mod:`repro.store`), JSONL checkpoint /
 resume, identity-derived per-point seeds, and optional precision-adaptive
-repetition growth (:class:`AdaptiveConfig`).  The public entry points are
-:func:`repro.api.sweep` and ``python -m repro sweep``.
+repetition growth (:class:`AdaptiveConfig`).  A
+:class:`DistributedSweepRunner` shards the same points across worker
+processes pulling from a lease/heartbeat work queue with bit-identical
+results.  The public entry points are :func:`repro.api.sweep` (with
+``sweep_workers=N`` for the distributed path) and ``python -m repro
+sweep`` (``--sweep-workers N``).
 """
 
 from repro.sweep.artifact import SweepArtifact, SweepPoint
 from repro.sweep.checkpoint import SweepCheckpoint, sweep_digest
+from repro.sweep.distributed import (
+    SWEEP_WORKERS_ENV_VAR,
+    DistributedSweepRunner,
+    SweepWorkQueue,
+    default_sweep_workers,
+)
 from repro.sweep.runner import AdaptiveConfig, SweepRunner, derive_point_seed
 from repro.sweep.spec import SWEEP_MODES, SweepSpec, coerce_param_value
 
 __all__ = [
     "SWEEP_MODES",
+    "SWEEP_WORKERS_ENV_VAR",
     "AdaptiveConfig",
+    "DistributedSweepRunner",
     "SweepArtifact",
     "SweepCheckpoint",
     "SweepPoint",
     "SweepRunner",
     "SweepSpec",
+    "SweepWorkQueue",
     "coerce_param_value",
+    "default_sweep_workers",
     "derive_point_seed",
     "sweep_digest",
 ]

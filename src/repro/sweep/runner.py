@@ -225,6 +225,24 @@ class SweepRunner:
         )
 
     # -- single-point execution ------------------------------------------- #
+    def run_point(
+        self,
+        sweep: SweepSpec,
+        index: int,
+        params: Dict[str, Any],
+        execution: ExecutionConfig,
+        adaptive: Optional[AdaptiveConfig] = None,
+    ) -> "SweepPoint":
+        """Execute a single sweep point under the sweep-level ``execution``.
+
+        This is the unit of work the distributed runner hands to its worker
+        processes: the point's campaign seed is derived from its parameter
+        identity in here, so any process executing the same point computes
+        bit-identical numbers.  ``execution`` must already be resolved (as
+        :meth:`run` resolves it).
+        """
+        return self._run_point(sweep, index, params, execution, adaptive)
+
     def _point_execution(
         self, execution: ExecutionConfig, index: int, seed: int
     ) -> ExecutionConfig:

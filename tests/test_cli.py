@@ -259,6 +259,43 @@ class TestSweepCli:
         assert main(argv) == 0
         assert "2 cache hit(s), 0 trial(s) executed" in capsys.readouterr().out
 
+    def test_sweep_workers_flag_distributes_with_identical_results(
+        self, tmp_path, capsys
+    ):
+        import sweep_testlib  # registers synthetic.bernoulli
+        from repro.sweep import SweepArtifact
+
+        def argv(out, store, extra=()):
+            return [
+                "sweep", "synthetic.bernoulli",
+                "--grid", "p=0.25,0.75",
+                "--reps", "4", "--seed", "3",
+                "--store", str(tmp_path / store),
+                "--out-dir", str(tmp_path / out),
+                *extra,
+            ]
+
+        assert main(argv("serial", "store-s")) == 0
+        assert main(argv("dist", "store-d", ("--sweep-workers", "2"))) == 0
+        assert "2 points, 0 cache hit(s), 8 trial(s) executed" in capsys.readouterr().out
+        serial = SweepArtifact.from_json(
+            next((tmp_path / "serial").glob("sweep_*.json")))
+        dist = SweepArtifact.from_json(
+            next((tmp_path / "dist").glob("sweep_*.json")))
+        for s, d in zip(serial.points, dist.points):
+            assert (s.seed, s.digest) == (d.seed, d.digest)
+            assert s.artifact.result.to_json_dict() == d.artifact.result.to_json_dict()
+
+        # Warm distributed re-run serves every point from the store.
+        assert main(argv("dist", "store-d", ("--sweep-workers", "2"))) == 0
+        assert "2 cache hit(s), 0 trial(s) executed" in capsys.readouterr().out
+
+    def test_sweep_workers_flag_rejects_garbage(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["sweep", "synthetic.bernoulli", "--grid", "p=0.5",
+                  "--sweep-workers", "zero"])
+        assert "sweep_workers" in capsys.readouterr().err
+
     def test_sweep_resume_with_campaign_checkpoint_dir_only(self, tmp_path, capsys):
         # Regression: --resume used to be forwarded as sweep-level resume
         # even without --sweep-checkpoint, so the documented campaign-level

@@ -7,6 +7,8 @@ the object files, and the ``cache=`` policy threading through ``api.run``.
 """
 
 import json
+import os
+import shutil
 
 import numpy as np
 import pytest
@@ -35,6 +37,13 @@ def _run(store=None, cache="off", seed=0, reps=4, **params):
         cache=cache,
         store=store,
     )
+
+
+def _prepared(store, digest):
+    """The object path for ``digest`` with its shard directory created."""
+    path = store.object_path(digest)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    return path
 
 
 class TestArtifactKey:
@@ -156,6 +165,55 @@ class TestArtifactStore:
         # A corrupt index is also recovered from, not fatal.
         store.index_path.write_text("garbage")
         assert len(ArtifactStore(tmp_path / "store")) == 1
+
+    def test_object_envelope_records_digest_and_created_at(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        artifact = _run(p=0.5, label="x")
+        entry = store.put(artifact)
+        data = json.loads(store.object_path(entry.digest).read_text())
+        assert data["store"]["digest"] == entry.digest
+        assert data["store"]["created_at"] == entry.created_at
+        # The envelope is store metadata only — artifact loading ignores it.
+        assert store.get(entry.digest).to_json_dict() == artifact.to_json_dict()
+
+    def test_rebuild_preserves_created_at_from_envelope(self, tmp_path):
+        # Entry ordering must survive a rebuild even when file mtimes lie
+        # (e.g. objects rsynced onto a new machine).
+        store = ArtifactStore(tmp_path / "store")
+        first = store.put(_run(p=0.1))
+        second = store.put(_run(p=0.9))
+        bogus = (12345.0, 12345.0)
+        os.utime(store.object_path(first.digest), bogus)
+        os.utime(store.object_path(second.digest), bogus)
+        rebuilt = store._rebuild_index()
+        assert rebuilt[first.digest]["created_at"] == first.created_at
+        assert rebuilt[second.digest]["created_at"] == second.created_at
+
+    def test_rebuild_skips_objects_that_do_not_verify(self, tmp_path):
+        # A copied/renamed object file must not be indexed under its new
+        # name: path.stem is a claim, not a content hash of the file.
+        store = ArtifactStore(tmp_path / "store")
+        entry = store.put(_run(p=0.5, label="x"))
+        impostor = "ff" * 32
+        shutil.copy(store.object_path(entry.digest), _prepared(store, impostor))
+        with pytest.warns(RuntimeWarning, match="does not verify"):
+            rebuilt = store._rebuild_index()
+        assert set(rebuilt) == {entry.digest}
+
+    def test_rebuild_verifies_pre_envelope_objects_by_recomputing(self, tmp_path):
+        # Objects written before the envelope existed carry no recorded
+        # digest; the rebuild recomputes their key instead of trusting the
+        # filename blindly.
+        store = ArtifactStore(tmp_path / "store")
+        entry = store.put(_run(p=0.5, label="x"))
+        data = json.loads(store.object_path(entry.digest).read_text())
+        del data["store"]
+        store.object_path(entry.digest).write_text(json.dumps(data))
+        legacy_under_wrong_name = _prepared(store, "ee" * 32)
+        legacy_under_wrong_name.write_text(json.dumps(data))
+        with pytest.warns(RuntimeWarning, match="does not verify"):
+            rebuilt = store._rebuild_index()
+        assert set(rebuilt) == {entry.digest}
 
     def test_resolve_store_and_default_root(self, tmp_path, monkeypatch):
         store = ArtifactStore(tmp_path)
