@@ -7,9 +7,11 @@ absolute numbers behind those assertions were previously printed and lost.
 ``BENCH_<name>.json`` file so perf trajectories can be tracked across
 commits and machines (compare files, archive them from CI, plot them).
 
-Snapshots land in ``benchmarks/snapshots/`` by default; point
-``REPRO_BENCH_SNAPSHOT_DIR`` somewhere else (e.g. a CI artifact directory)
-to redirect them.  Every snapshot carries the same envelope::
+Snapshots land in the repository root by default — that is where the perf
+trajectory is read from (committed ``BENCH_*.json`` files next to this
+repo's sources, archived as CI artifacts).  Point ``REPRO_BENCH_SNAPSHOT_DIR``
+somewhere else (e.g. a scratch directory) to redirect them.  Every snapshot
+carries the same envelope::
 
     {
       "kind": "repro-bench-snapshot",
@@ -32,6 +34,8 @@ import time
 from pathlib import Path
 from typing import Any, Dict, Optional
 
+from repro.io import atomic_write_text
+
 __all__ = ["SNAPSHOT_DIR_ENV_VAR", "default_snapshot_dir", "write_snapshot"]
 
 #: Environment variable overriding where ``BENCH_*.json`` files land.
@@ -42,7 +46,9 @@ def default_snapshot_dir() -> Path:
     override = os.environ.get(SNAPSHOT_DIR_ENV_VAR)
     if override:
         return Path(override)
-    return Path(__file__).resolve().parent / "snapshots"
+    # The repo root: snapshots sit next to the sources so the committed perf
+    # trajectory and the CI artifact glob both read the same place.
+    return Path(__file__).resolve().parent.parent
 
 
 def write_snapshot(name: str, metrics: Dict[str, Any]) -> Optional[Path]:
@@ -63,7 +69,9 @@ def write_snapshot(name: str, metrics: Dict[str, Any]) -> Optional[Path]:
     path = directory / f"BENCH_{name}.json"
     try:
         directory.mkdir(parents=True, exist_ok=True)
-        path.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
+        # Atomic + fsync'd: a benchmark interrupted mid-write must never
+        # leave a truncated snapshot in the committed perf trajectory.
+        atomic_write_text(path, json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
     except OSError:
         return None
     print(f"\nbench snapshot written to {path}")

@@ -63,6 +63,10 @@ class BatchedEvaluator:
     def n_replicas(self) -> int:
         return self.executor.n_replicas
 
+    def restore_clean_weights(self) -> None:
+        """Undo injected weight faults (see ``BatchedQuantizedExecutor``)."""
+        self.executor.restore_clean_weights()
+
     # ------------------------------------------------------------------ #
     # Fault injection
     # ------------------------------------------------------------------ #

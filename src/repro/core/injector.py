@@ -18,7 +18,7 @@ inference-time activation/input injection as buffer hooks for
 from __future__ import annotations
 
 import logging
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -36,6 +36,7 @@ __all__ = [
     "PermanentTrainingFaultHook",
     "ActivationFaultInjector",
     "InputFaultInjector",
+    "ReplicaFanoutHook",
     "inject_weight_faults",
 ]
 
@@ -265,6 +266,45 @@ class InputFaultInjector:
             return
         self.fault_model.inject(tensor, self.rng)
         self.injection_count += 1
+
+
+class ReplicaFanoutHook:
+    """Adapts per-replica scalar buffer hooks to stacked batched buffers.
+
+    The batched executor passes its hooks one ``(k, ...)`` stacked
+    :class:`~repro.quant.qtensor.QTensor` covering the ``k`` active replicas
+    of a forward pass, while the scalar injectors
+    (:class:`ActivationFaultInjector`, :class:`InputFaultInjector`) expect
+    one scalar-shaped buffer.  This hook slices the stack row by row, runs
+    replica ``r``'s own injector on a scalar-shaped view of its row, and
+    writes the mutated bits back — so each replica consumes its trial RNG
+    and caches its permanent patterns exactly as the scalar executor would.
+
+    Call :meth:`set_replicas` with the active replica indices before every
+    forward pass (the batched rollout policy does this); row ``j`` of the
+    stacked buffer then maps to ``hooks[indices[j]]``.
+    """
+
+    def __init__(self, hooks: Sequence) -> None:
+        self.hooks = list(hooks)
+        self._replicas = np.arange(len(self.hooks), dtype=np.intp)
+
+    def set_replicas(self, indices: Sequence[int]) -> None:
+        """Declare which replica each stacked row belongs to."""
+        self._replicas = np.asarray(indices, dtype=np.intp)
+
+    def __call__(self, tensor: QTensor, layer: Optional[Layer]) -> None:
+        raw = tensor.raw
+        if raw.shape[0] != self._replicas.size:
+            raise ValueError(
+                f"stacked buffer has {raw.shape[0]} rows for "
+                f"{self._replicas.size} active replicas"
+            )
+        for j, replica in enumerate(self._replicas):
+            row = QTensor.from_raw(raw[j], tensor.qformat, name=tensor.name)
+            self.hooks[int(replica)](row, layer)
+            raw[j] = row.raw
+        tensor.raw = raw
 
 
 def inject_weight_faults(

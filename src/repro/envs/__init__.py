@@ -20,7 +20,7 @@ from repro.envs.gridworld import (
     HIGH_DENSITY,
     make_gridworld,
 )
-from repro.envs.drone import DroneNavEnv, make_drone_env
+from repro.envs.drone import DroneNavEnv, DroneNavEnvBatch, make_drone_env
 
 __all__ = [
     "Environment",
@@ -34,5 +34,6 @@ __all__ = [
     "HIGH_DENSITY",
     "make_gridworld",
     "DroneNavEnv",
+    "DroneNavEnvBatch",
     "make_drone_env",
 ]

@@ -10,13 +10,14 @@ lockstep.  :class:`BatchedEnv` is the interface the batched rollout engine
   replicas finish independently, so the rollout engine passes the indices
   of the episodes still running.
 
-Two implementations exist: :class:`~repro.envs.gridworld.GridWorldBatch`
-steps all Grid World replicas through vectorized integer math, while
-:class:`EnvPool` wraps any collection of scalar environments (e.g. the
-drone simulator, which stays scalar) behind the same interface.  Both are
-exact: replica ``r`` of a batched run visits the same states, rewards and
-``info`` dictionaries as a scalar environment stepped with the same
-actions.
+Three implementations exist: :class:`~repro.envs.gridworld.GridWorldBatch`
+steps all Grid World replicas through vectorized integer math,
+:class:`~repro.envs.drone.DroneNavEnvBatch` steps drone replicas through
+replica-axis numpy ray casting, and :class:`EnvPool` wraps any collection
+of scalar environments behind the same interface as the generic fallback
+for environments without a native batch.  All are exact: replica ``r`` of
+a batched run visits the same states, rewards and ``info`` dictionaries as
+a scalar environment stepped with the same actions.
 """
 
 from __future__ import annotations
@@ -69,10 +70,12 @@ class BatchedEnv:
 class EnvPool(BatchedEnv):
     """Scalar fallback: independent scalar environments behind the batched API.
 
-    Used for environments without a native vectorized stepping mode (the
-    drone simulator); each replica owns one scalar environment instance, so
-    batched campaigns remain bit-identical even where only the policy side
-    is vectorized.
+    Used for environments without a native vectorized stepping mode; each
+    replica owns one scalar environment instance, so batched campaigns
+    remain bit-identical even where only the policy side is vectorized.
+    (The drone simulator now has a native batch, ``DroneNavEnvBatch``; the
+    pool remains as the generic fallback and as the reference baseline the
+    batched-env guardrail benchmark measures against.)
     """
 
     def __init__(self, envs: Sequence[Environment]) -> None:

@@ -16,18 +16,27 @@ Two layouts, ``indoor-long`` and ``indoor-vanleer``, mirror the relative
 difficulty of the two PEDRA maps used in Fig. 7b.
 """
 
-from repro.envs.drone.world import CorridorWorld, Rect, indoor_long, indoor_vanleer
+from repro.envs.drone.world import (
+    CorridorWorld,
+    Rect,
+    indoor_long,
+    indoor_vanleer,
+    wrap_angle,
+)
 from repro.envs.drone.camera import DepthCamera
 from repro.envs.drone.actions import ActionSpace25
 from repro.envs.drone.env import DroneNavEnv, make_drone_env
+from repro.envs.drone.batch import DroneNavEnvBatch
 
 __all__ = [
     "CorridorWorld",
     "Rect",
     "indoor_long",
     "indoor_vanleer",
+    "wrap_angle",
     "DepthCamera",
     "ActionSpace25",
     "DroneNavEnv",
+    "DroneNavEnvBatch",
     "make_drone_env",
 ]

@@ -40,6 +40,14 @@ class DepthCamera:
         self.height = height
         self.fov = np.deg2rad(fov_degrees)
         self.max_range = max_range
+        # Pose-independent geometry, cached once: the batched renderer runs
+        # every simulation step, so rebuilding these tiny arrays there would
+        # dominate its cost at small image sizes.
+        self._offsets = np.linspace(self.fov / 2.0, -self.fov / 2.0, self.width)
+        rows = np.arange(self.height, dtype=np.float64)
+        centre = (self.height - 1) / 2.0
+        self._vertical = np.abs(rows - centre) / max(centre, 1.0)  # (H,)
+        self._background = 0.1 * (1.0 - self._vertical)  # (H,)
 
     @property
     def image_shape(self) -> Tuple[int, int, int]:
@@ -50,7 +58,7 @@ class DepthCamera:
         self, world: CorridorWorld, x: float, y: float, heading: float
     ) -> np.ndarray:
         """Per-column distance to the nearest surface, left-to-right."""
-        angles = heading + np.linspace(self.fov / 2.0, -self.fov / 2.0, self.width)
+        angles = heading + self._offsets
         return np.array(
             [world.ray_distance(x, y, a, self.max_range) for a in angles],
             dtype=np.float64,
@@ -70,10 +78,8 @@ class DepthCamera:
         inverse = 1.0 - np.clip(depth / self.max_range, 0.0, 1.0)
 
         image = np.zeros((self.height, self.width), dtype=np.float64)
-        rows = np.arange(self.height, dtype=np.float64)
-        centre = (self.height - 1) / 2.0
         # Distance of each row from the vertical centre, normalized to [0, 1].
-        vertical = np.abs(rows - centre) / max(centre, 1.0)
+        vertical = self._vertical
         for col in range(self.width):
             # Apparent half-height of the surface in this column: near
             # surfaces (inverse ~ 1) fill the column, far ones only the middle.
@@ -84,3 +90,48 @@ class DepthCamera:
             # network a weak horizon cue, like a rendered corridor image.
             image[~filled, col] = 0.1 * (1.0 - vertical[~filled])
         return image[None, :, :]
+
+    def depth_profiles(
+        self,
+        world: CorridorWorld,
+        xs: np.ndarray,
+        ys: np.ndarray,
+        headings: np.ndarray,
+    ) -> np.ndarray:
+        """Vectorized :meth:`depth_profile`: a (B, width) distance array."""
+        xs = np.asarray(xs, dtype=np.float64)
+        ys = np.asarray(ys, dtype=np.float64)
+        headings = np.asarray(headings, dtype=np.float64)
+        angles = headings[:, None] + self._offsets
+        return world.ray_distances(xs[:, None], ys[:, None], angles, self.max_range)
+
+    def render_batch(
+        self,
+        world: CorridorWorld,
+        xs: np.ndarray,
+        ys: np.ndarray,
+        headings: np.ndarray,
+    ) -> np.ndarray:
+        """Vectorized :meth:`render`: a (B, 1, H, W) image stack.
+
+        One broadcast ``np.where`` replaces the per-column Python loop; the
+        per-pixel arithmetic is identical to the scalar renderer, so images
+        match :meth:`render` bit-for-bit.
+        """
+        return self.images_from_depths(self.depth_profiles(world, xs, ys, headings))
+
+    def images_from_depths(self, depths: np.ndarray) -> np.ndarray:
+        """Expand precomputed (B, width) depth profiles into (B, 1, H, W) images.
+
+        Split out of :meth:`render_batch` so callers that already cast the
+        camera rays (the batched environment fuses them with its clearance
+        rays) can reuse the profile without a second ray-casting pass.
+        """
+        inverse = 1.0 - np.minimum(np.maximum(depths / self.max_range, 0.0), 1.0)
+        vertical = self._vertical  # (H,)
+        apparent = 0.15 + 0.85 * inverse  # (B, W)
+        filled = vertical[None, :, None] <= apparent[:, None, :]  # (B, H, W)
+        images = np.where(
+            filled, inverse[:, None, :], self._background[None, :, None]
+        )
+        return images[:, None, :, :]

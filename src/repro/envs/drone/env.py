@@ -16,7 +16,7 @@ import numpy as np
 from repro.envs.base import Environment
 from repro.envs.drone.actions import ActionSpace25
 from repro.envs.drone.camera import DepthCamera
-from repro.envs.drone.world import CorridorWorld, indoor_long, indoor_vanleer
+from repro.envs.drone.world import CorridorWorld, indoor_long, indoor_vanleer, wrap_angle
 
 __all__ = ["DroneNavEnv", "make_drone_env"]
 
@@ -133,7 +133,9 @@ class DroneNavEnv(Environment):
     def step(self, action: int) -> Tuple[np.ndarray, float, bool, Dict[str, float]]:
         self._check_action(action)
         yaw_offset, forward = self.actions.command(action)
-        self._heading += yaw_offset
+        # Keep the heading wrapped into (-pi, pi] so long episodes cannot
+        # accumulate an unbounded angle (which slowly degrades trig accuracy).
+        self._heading = float(wrap_angle(self._heading + yaw_offset))
 
         # Advance in sub-steps so the drone cannot tunnel through thin obstacles.
         step_length = forward / self.substeps
@@ -164,6 +166,13 @@ class DroneNavEnv(Environment):
         if done:
             info["success"] = True
         return observation, reward, done, info
+
+    def batched(self, n_replicas: int) -> "BatchedEnv":
+        """A :class:`DroneNavEnvBatch` stepping ``n_replicas`` copies of this
+        environment in lockstep with replica-axis numpy geometry."""
+        from repro.envs.drone.batch import DroneNavEnvBatch
+
+        return DroneNavEnvBatch(self, n_replicas)
 
 
 def make_drone_env(

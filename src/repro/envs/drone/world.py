@@ -14,7 +14,39 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-__all__ = ["Rect", "CorridorWorld", "indoor_long", "indoor_vanleer"]
+__all__ = ["Rect", "CorridorWorld", "indoor_long", "indoor_vanleer", "wrap_angle"]
+
+#: Direction components smaller than this are treated as axis-parallel in the
+#: slab intersection and the boundary distance (matches the scalar code).
+_DIR_EPS = 1e-12
+
+
+#: Radial ray fans by ray count.  The clearance check runs every simulation
+#: step, so the fan angles are built once per ``num_rays`` instead of calling
+#: ``np.linspace`` per query.  ``endpoint=False`` keeps 0 and 2π from both
+#: appearing, so no ray is duplicated.
+_FAN_CACHE: dict = {}
+
+
+def _radial_fan(num_rays: int) -> np.ndarray:
+    angles = _FAN_CACHE.get(num_rays)
+    if angles is None:
+        angles = np.linspace(0.0, 2.0 * np.pi, num_rays, endpoint=False)
+        _FAN_CACHE[num_rays] = angles
+    return angles
+
+
+def wrap_angle(angle):
+    """Wrap an angle (radians) into ``(-pi, pi]``.
+
+    Works elementwise on scalars and arrays.  Angles already inside the
+    interval are returned bit-unchanged, so wrapping only perturbs headings
+    that have actually wound past ±π (where the perturbation is the point).
+    """
+    angle = np.asarray(angle, dtype=np.float64)
+    two_pi = 2.0 * np.pi
+    wrapped = np.pi - np.remainder(np.pi - angle, two_pi)
+    return np.where((angle > np.pi) | (angle <= -np.pi), wrapped, angle)
 
 
 @dataclass(frozen=True)
@@ -85,6 +117,12 @@ class CorridorWorld:
         self.obstacles = list(obstacles)
         self.start_pose = start_pose
         self.name = name
+        # Rect bounds as (R,) arrays so the batched queries can broadcast over
+        # all obstacles at once instead of looping Rect objects per ray.
+        self._rect_x0 = np.array([r.x0 for r in self.obstacles], dtype=np.float64)
+        self._rect_y0 = np.array([r.y0 for r in self.obstacles], dtype=np.float64)
+        self._rect_x1 = np.array([r.x1 for r in self.obstacles], dtype=np.float64)
+        self._rect_y1 = np.array([r.y1 for r in self.obstacles], dtype=np.float64)
         sx, sy, _ = start_pose
         if not self.is_free(sx, sy, margin=0.0):
             raise ValueError(f"start pose {start_pose} is inside an obstacle or wall")
@@ -102,11 +140,46 @@ class CorridorWorld:
             return False
         return not any(rect.contains(x, y, margin) for rect in self.obstacles)
 
+    def free_mask(self, xs: np.ndarray, ys: np.ndarray, margin: float = 0.0) -> np.ndarray:
+        """Vectorized :meth:`is_free`: a boolean array over point arrays."""
+        xs = np.asarray(xs, dtype=np.float64)
+        ys = np.asarray(ys, dtype=np.float64)
+        free = (
+            (margin <= xs)
+            & (xs <= self.length - margin)
+            & (margin <= ys)
+            & (ys <= self.width - margin)
+        )
+        if self.obstacles:
+            px, py = xs[..., None], ys[..., None]
+            inside = (
+                (self._rect_x0 - margin <= px)
+                & (px <= self._rect_x1 + margin)
+                & (self._rect_y0 - margin <= py)
+                & (py <= self._rect_y1 + margin)
+            )
+            free &= ~inside.any(axis=-1)
+        return free
+
     def clearance(self, x: float, y: float, num_rays: int = 16, max_range: float = 10.0) -> float:
         """Approximate distance to the nearest surface, by radial ray casting."""
-        angles = np.linspace(0.0, 2.0 * np.pi, num_rays, endpoint=False)
+        angles = _radial_fan(num_rays)
         distances = [self.ray_distance(x, y, a, max_range) for a in angles]
         return float(min(distances))
+
+    def clearances(
+        self,
+        xs: np.ndarray,
+        ys: np.ndarray,
+        num_rays: int = 16,
+        max_range: float = 10.0,
+    ) -> np.ndarray:
+        """Vectorized :meth:`clearance` over point arrays (bit-identical)."""
+        xs = np.asarray(xs, dtype=np.float64)
+        ys = np.asarray(ys, dtype=np.float64)
+        angles = _radial_fan(num_rays)
+        distances = self.ray_distances(xs[..., None], ys[..., None], angles, max_range)
+        return np.min(distances, axis=-1)
 
     # ------------------------------------------------------------------ #
     # Ray casting
@@ -120,6 +193,80 @@ class CorridorWorld:
             if hit is not None and hit < best:
                 best = hit
         return float(min(best, max_range))
+
+    def ray_distances(
+        self,
+        xs: np.ndarray,
+        ys: np.ndarray,
+        angles: np.ndarray,
+        max_range: float = 30.0,
+    ) -> np.ndarray:
+        """Vectorized :meth:`ray_distance` over arrays of origins and angles.
+
+        Inputs broadcast against each other; the result has the broadcast
+        shape.  One numpy pass handles every ray against every obstacle slab
+        and the boundary planes, producing results bit-identical to the
+        scalar path: the per-element arithmetic (subtract, divide, min, max,
+        compare) is IEEE-exact and performed in the same order.
+        """
+        xs, ys, angles = np.broadcast_arrays(
+            np.asarray(xs, dtype=np.float64),
+            np.asarray(ys, dtype=np.float64),
+            np.asarray(angles, dtype=np.float64),
+        )
+        dx = np.cos(angles)
+        dy = np.sin(angles)
+        best = self._boundary_distances(xs, ys, dx, dy)
+        if self.obstacles:
+            ox, oy = xs[..., None], ys[..., None]
+            rdx, rdy = dx[..., None], dy[..., None]
+            # Slab method with masks.  Divisions run for every lane (the
+            # degenerate ones produce inf/nan under errstate) and np.where
+            # then substitutes the open slab (-inf, +inf) for axis-parallel
+            # rays, exactly as the scalar code skips those axes.
+            with np.errstate(divide="ignore", invalid="ignore"):
+                t1x = (self._rect_x0 - ox) / rdx
+                t2x = (self._rect_x1 - ox) / rdx
+                t1y = (self._rect_y0 - oy) / rdy
+                t2y = (self._rect_y1 - oy) / rdy
+            deg_x = np.abs(rdx) < _DIR_EPS
+            deg_y = np.abs(rdy) < _DIR_EPS
+            lo_x = np.where(deg_x, -np.inf, np.minimum(t1x, t2x))
+            hi_x = np.where(deg_x, np.inf, np.maximum(t1x, t2x))
+            lo_y = np.where(deg_y, -np.inf, np.minimum(t1y, t2y))
+            hi_y = np.where(deg_y, np.inf, np.maximum(t1y, t2y))
+            t_min = np.maximum(lo_x, lo_y)
+            t_max = np.minimum(hi_x, hi_y)
+            miss = (
+                (deg_x & ((ox < self._rect_x0) | (ox > self._rect_x1)))
+                | (deg_y & ((oy < self._rect_y0) | (oy > self._rect_y1)))
+                | (t_min > t_max)
+                | (t_max < 0)
+            )
+            hits = np.where(miss, np.inf, np.maximum(t_min, 0.0))
+            best = np.minimum(best, np.min(hits, axis=-1))
+        return np.minimum(best, max_range)
+
+    def _boundary_distances(
+        self, xs: np.ndarray, ys: np.ndarray, dx: np.ndarray, dy: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized :meth:`_boundary_distance` over ray arrays."""
+        with np.errstate(divide="ignore", invalid="ignore"):
+            cx = np.where(
+                dx > _DIR_EPS,
+                (self.length - xs) / dx,
+                np.where(dx < -_DIR_EPS, -xs / dx, np.inf),
+            )
+            cy = np.where(
+                dy > _DIR_EPS,
+                (self.width - ys) / dy,
+                np.where(dy < -_DIR_EPS, -ys / dy, np.inf),
+            )
+        # The scalar code drops negative candidates; inf stands in for "no
+        # candidate" so the final minimum matches min(positive) exactly.
+        cx = np.where(cx >= 0, cx, np.inf)
+        cy = np.where(cy >= 0, cy, np.inf)
+        return np.minimum(cx, cy)
 
     def _boundary_distance(self, x: float, y: float, dx: float, dy: float) -> float:
         """Distance to the outer walls along a ray starting inside the world."""

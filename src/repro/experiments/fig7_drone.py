@@ -8,6 +8,12 @@ Panels (b)-(e): faults during *inference* of the trained policy —
 (b) the two environments, (c) fault location (input buffer / weight buffer /
 activations transient / activations permanent), (d) per-layer sensitivity
 (conv1..fc2), and (e) fixed-point data type (Q(1,4,11) / Q(1,7,8) / Q(1,10,5)).
+
+The inference panels implement the batched-execution protocol
+(``run_batch``): under a batched runner each batch of trials becomes policy
+*replicas* evaluated through stacked quantized buffers and the replica-axis
+vectorized drone environment (:class:`~repro.envs.drone.DroneNavEnvBatch`),
+bit-identical to serial execution (``tests/test_batched_parity.py``).
 """
 
 from __future__ import annotations
@@ -18,15 +24,19 @@ import numpy as np
 
 from repro.api.execution import ExecutionConfig, resolve_execution
 from repro.core.campaign import Campaign, TrialOutcome
+from repro.core.evaluator import BatchedEvaluator
 from repro.core.fault_models import FaultModel, StuckAtFault, TransientBitFlip
 from repro.core.injector import (
     ActivationFaultInjector,
     InputFaultInjector,
     PermanentTrainingFaultHook,
+    ReplicaFanoutHook,
     TransientTrainingFaultHook,
     inject_weight_faults,
 )
 from repro.core.sites import BufferSelector
+from repro.envs.batched import BatchedEnv, EnvPool
+from repro.envs.drone import make_drone_env
 from repro.experiments.common import (
     DronePolicyBundle,
     build_drone_bundle,
@@ -45,6 +55,7 @@ from repro.nn.buffers import QuantizedExecutor
 from repro.policies.c3f2 import C3F2_LAYER_NAMES
 from repro.quant.qformat import Q16_MID, Q16_NARROW, Q16_WIDE, QFormat
 from repro.rl import DecayingEpsilonGreedy, DoubleDQNAgent, train_agent
+from repro.rl.evaluation import evaluate_mean_metrics
 
 __all__ = [
     "executor_policy",
@@ -94,6 +105,150 @@ def _msf_with_faults(
         executor.restore_clean_weights()
 
 
+class _DroneMSFTrial:
+    """One Fig. 7b-e campaign trial: the drone policy's MSF under faults.
+
+    Scalar execution (``__call__``) reproduces the original per-trial path:
+    a fresh :class:`~repro.nn.buffers.QuantizedExecutor`, static weight
+    faults, per-forward activation/input hooks, and
+    ``config.eval_trials`` scalar episodes.  Batched execution
+    (``run_batch``) evaluates the whole batch of trials as policy replicas:
+    weight-fault patterns apply to stacked quantized buffers in one
+    vectorized bit operation, activation/input injectors fan out per
+    replica via :class:`~repro.core.injector.ReplicaFanoutHook`, and the
+    episodes run against the replica-axis vectorized
+    :class:`~repro.envs.drone.DroneNavEnvBatch` (or, with
+    ``env_backend="pool"``, against an :class:`~repro.envs.batched.EnvPool`
+    of scalar drone environments — the fallback the guardrail benchmark
+    measures the native batch against).  Both paths are bit-identical for
+    the same trial RNGs.
+    """
+
+    def __init__(
+        self,
+        bundle: DronePolicyBundle,
+        env_name: str,
+        *,
+        qformat: Optional[QFormat] = None,
+        weight_fault: Optional[FaultModel] = None,
+        weight_selector: Optional[BufferSelector] = None,
+        activation_fault: Optional[FaultModel] = None,
+        activation_mode: str = "transient",
+        input_fault: Optional[FaultModel] = None,
+        env_backend: str = "batch",
+    ) -> None:
+        if env_backend not in ("batch", "pool"):
+            raise ValueError(f"env_backend must be 'batch' or 'pool', got {env_backend!r}")
+        self.bundle = bundle
+        self.env_name = env_name
+        self.qformat = qformat
+        self.weight_fault = weight_fault
+        self.weight_selector = weight_selector
+        self.activation_fault = activation_fault
+        self.activation_mode = activation_mode
+        self.input_fault = input_fault
+        self.env_backend = env_backend
+        # Per-batch-size caches: campaigns call run_batch once per batch,
+        # and rebuilding the stacked evaluator (re-encoding every weight
+        # buffer) and the environments each time is pure fixed overhead.
+        # Reuse is exact: the evaluator is restored to its clean pre-fault
+        # state between batches and every rollout starts with reset_all().
+        self._evaluators: Dict[int, BatchedEvaluator] = {}
+        self._envs: Dict[int, BatchedEnv] = {}
+
+    def __call__(self, rng: np.random.Generator) -> TrialOutcome:
+        activation = None
+        input_inj = None
+        if self.activation_fault is not None:
+            activation = ActivationFaultInjector(
+                self.activation_fault, mode=self.activation_mode, rng=rng
+            )
+        if self.input_fault is not None:
+            input_inj = InputFaultInjector(self.input_fault, rng=rng)
+        msf = _msf_with_faults(
+            self.bundle,
+            self.env_name,
+            rng,
+            qformat=self.qformat,
+            weight_fault=self.weight_fault,
+            weight_selector=self.weight_selector,
+            activation_injector=activation,
+            input_injector=input_inj,
+        )
+        return TrialOutcome(metric=msf)
+
+    def run_batch(self, rngs: Sequence[np.random.Generator]) -> List[TrialOutcome]:
+        n = len(rngs)
+        config = self.bundle.config
+        self.bundle.restore_clean()
+        evaluator = self._evaluators.get(n)
+        if evaluator is None:
+            evaluator = BatchedEvaluator(
+                self.bundle.network, self.qformat or config.qformat, n
+            )
+            self._evaluators[n] = evaluator
+        else:
+            evaluator.restore_clean_weights()
+            evaluator.executor.input_hooks.clear()
+            evaluator.executor.activation_hooks.clear()
+        if self.weight_fault is not None and self.weight_fault.bit_error_rate > 0:
+            # The scalar path's inject_weight_faults defaults to
+            # all_weights(); the evaluator's default selector matches
+            # everything by name, so pass the scalar default explicitly.
+            evaluator.inject_weight_faults(
+                self.weight_fault,
+                rngs,
+                selector=self.weight_selector or BufferSelector.all_weights(),
+            )
+        fanouts: List[ReplicaFanoutHook] = []
+        if self.activation_fault is not None:
+            fanout = ReplicaFanoutHook(
+                [
+                    ActivationFaultInjector(
+                        self.activation_fault, mode=self.activation_mode, rng=rng
+                    )
+                    for rng in rngs
+                ]
+            )
+            evaluator.executor.activation_hooks.append(fanout)
+            fanouts.append(fanout)
+        if self.input_fault is not None:
+            fanout = ReplicaFanoutHook(
+                [InputFaultInjector(self.input_fault, rng=rng) for rng in rngs]
+            )
+            evaluator.executor.input_hooks.append(fanout)
+            fanouts.append(fanout)
+
+        def policy(step: int, indices: np.ndarray, states: List[object]) -> List[int]:
+            for fanout in fanouts:
+                fanout.set_replicas(indices)
+            stacked = np.stack(states)[:, None]
+            greedy = evaluator.greedy_actions(stacked, replicas=indices)
+            return [int(action) for action in greedy]
+
+        msfs = evaluate_mean_metrics(
+            policy,
+            self._batched_env(n),
+            "flight_distance",
+            trials=config.eval_trials,
+            max_steps=config.max_eval_steps,
+        )
+        return [TrialOutcome(metric=msf) for msf in msfs]
+
+    def _batched_env(self, n: int) -> BatchedEnv:
+        env = self._envs.get(n)
+        if env is None:
+            if self.env_backend == "pool":
+                image_size = self.bundle.config.image_size
+                env = EnvPool.from_factory(
+                    lambda: make_drone_env(self.env_name, image_size=image_size), n
+                )
+            else:
+                env = self.bundle.env(self.env_name).batched(n)
+            self._envs[n] = env
+        return env
+
+
 def run_environment_comparison(
     config: DroneConfig,
     bit_error_rates: Sequence[float],
@@ -123,12 +278,9 @@ def run_environment_comparison(
     table = ResultTable(title="Fig7b drone inference: environment comparison")
     for env_name in environments:
         for ber in bit_error_rates:
-            def trial(rng: np.random.Generator, env_name=env_name, ber=ber) -> TrialOutcome:
-                msf = _msf_with_faults(
-                    bundle, env_name, rng, weight_fault=TransientBitFlip(ber)
-                )
-                return TrialOutcome(metric=msf)
-
+            trial = _DroneMSFTrial(
+                bundle, env_name, weight_fault=TransientBitFlip(ber)
+            )
             result = run_campaign(
                 Campaign(f"fig7b-{env_name}-ber{ber}", repetitions, seed=seed + 1),
                 trial,
@@ -172,33 +324,28 @@ def run_fault_location_sweep(
     locations = ("input", "weight", "activation-transient", "activation-permanent")
     for location in locations:
         for ber in bit_error_rates:
-            def trial(rng: np.random.Generator, location=location, ber=ber) -> TrialOutcome:
-                weight_fault = None
-                activation = None
-                input_inj = None
-                if ber > 0:
-                    if location == "weight":
-                        weight_fault = TransientBitFlip(ber)
-                    elif location == "input":
-                        input_inj = InputFaultInjector(TransientBitFlip(ber), rng=rng)
-                    elif location == "activation-transient":
-                        activation = ActivationFaultInjector(
-                            TransientBitFlip(ber), mode="transient", rng=rng
-                        )
-                    else:
-                        activation = ActivationFaultInjector(
-                            StuckAtFault(ber, stuck_value=1), mode="permanent", rng=rng
-                        )
-                msf = _msf_with_faults(
-                    bundle,
-                    config.environment,
-                    rng,
-                    weight_fault=weight_fault,
-                    activation_injector=activation,
-                    input_injector=input_inj,
-                )
-                return TrialOutcome(metric=msf)
-
+            weight_fault = None
+            activation_fault = None
+            activation_mode = "transient"
+            input_fault = None
+            if ber > 0:
+                if location == "weight":
+                    weight_fault = TransientBitFlip(ber)
+                elif location == "input":
+                    input_fault = TransientBitFlip(ber)
+                elif location == "activation-transient":
+                    activation_fault = TransientBitFlip(ber)
+                else:
+                    activation_fault = StuckAtFault(ber, stuck_value=1)
+                    activation_mode = "permanent"
+            trial = _DroneMSFTrial(
+                bundle,
+                config.environment,
+                weight_fault=weight_fault,
+                activation_fault=activation_fault,
+                activation_mode=activation_mode,
+                input_fault=input_fault,
+            )
             result = run_campaign(
                 Campaign(f"fig7c-{location}-ber{ber}", repetitions, seed=seed + 2),
                 trial,
@@ -242,16 +389,12 @@ def run_layer_sweep(
     table = ResultTable(title="Fig7d drone inference: per-layer sensitivity")
     for layer in layers:
         for ber in bit_error_rates:
-            def trial(rng: np.random.Generator, layer=layer, ber=ber) -> TrialOutcome:
-                msf = _msf_with_faults(
-                    bundle,
-                    config.environment,
-                    rng,
-                    weight_fault=TransientBitFlip(ber),
-                    weight_selector=BufferSelector.for_layer(layer),
-                )
-                return TrialOutcome(metric=msf)
-
+            trial = _DroneMSFTrial(
+                bundle,
+                config.environment,
+                weight_fault=TransientBitFlip(ber),
+                weight_selector=BufferSelector.for_layer(layer),
+            )
             result = run_campaign(
                 Campaign(f"fig7d-{layer}-ber{ber}", repetitions, seed=seed + 3),
                 trial,
@@ -295,16 +438,12 @@ def run_datatype_sweep(
     table = ResultTable(title="Fig7e drone inference: data type")
     for qformat in qformats:
         for ber in bit_error_rates:
-            def trial(rng: np.random.Generator, qformat=qformat, ber=ber) -> TrialOutcome:
-                msf = _msf_with_faults(
-                    bundle,
-                    config.environment,
-                    rng,
-                    qformat=qformat,
-                    weight_fault=TransientBitFlip(ber),
-                )
-                return TrialOutcome(metric=msf)
-
+            trial = _DroneMSFTrial(
+                bundle,
+                config.environment,
+                qformat=qformat,
+                weight_fault=TransientBitFlip(ber),
+            )
             result = run_campaign(
                 Campaign(f"fig7e-{qformat}-ber{ber}", repetitions, seed=seed + 4),
                 trial,
@@ -472,6 +611,7 @@ def _training_faults_spec(execution: ExecutionConfig, *, fast: bool) -> ResultTa
     "fig7.environments",
     description="Fig. 7b — drone inference MSF vs BER per environment",
     params=(FAST_PARAM,),
+    batched=True,
 )
 def _environments_spec(execution: ExecutionConfig, *, fast: bool) -> ResultTable:
     config = drone_config_for(fast, scale=execution.scale)
@@ -484,6 +624,7 @@ def _environments_spec(execution: ExecutionConfig, *, fast: bool) -> ResultTable
     "fig7.locations",
     description="Fig. 7c — drone inference MSF vs BER per fault location",
     params=(FAST_PARAM,),
+    batched=True,
 )
 def _locations_spec(execution: ExecutionConfig, *, fast: bool) -> ResultTable:
     config = drone_config_for(fast, scale=execution.scale)
@@ -496,6 +637,7 @@ def _locations_spec(execution: ExecutionConfig, *, fast: bool) -> ResultTable:
     "fig7.layers",
     description="Fig. 7d — drone inference MSF vs BER per faulted layer",
     params=(FAST_PARAM,),
+    batched=True,
 )
 def _layers_spec(execution: ExecutionConfig, *, fast: bool) -> ResultTable:
     config = drone_config_for(fast, scale=execution.scale)
@@ -506,6 +648,7 @@ def _layers_spec(execution: ExecutionConfig, *, fast: bool) -> ResultTable:
     "fig7.datatypes",
     description="Fig. 7e — drone inference MSF vs BER per fixed-point data type",
     params=(FAST_PARAM,),
+    batched=True,
 )
 def _datatypes_spec(execution: ExecutionConfig, *, fast: bool) -> ResultTable:
     config = drone_config_for(fast, scale=execution.scale)

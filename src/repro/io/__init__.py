@@ -1,10 +1,12 @@
-"""Result containers and renderers used by examples and benchmarks."""
+"""Result containers, renderers and crash-safe file writes."""
 
+from repro.io.atomic import atomic_write_text
 from repro.io.results import CampaignCheckpoint, ResultRow, ResultTable, SeriesResult
 from repro.io.sanitize import canonical_json, json_ready
 from repro.io.tables import render_table, render_heatmap
 
 __all__ = [
+    "atomic_write_text",
     "CampaignCheckpoint",
     "ResultRow",
     "ResultTable",

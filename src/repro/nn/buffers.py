@@ -352,6 +352,20 @@ class BatchedQuantizedExecutor:
         """Whether the stacked weight buffers have been made the active weights."""
         return self._param_stacks is not None
 
+    def restore_clean_weights(self) -> None:
+        """Return the stacked buffers to their clean pre-fault state.
+
+        Every stacked weight buffer goes back to B bit-identical copies of
+        the clean quantized parameters and the stacks are deactivated, so a
+        reused executor is indistinguishable from a freshly constructed one
+        (campaign engines reuse one executor across batches instead of
+        re-encoding the network's weights every batch).
+        """
+        for buffer_name, stacked in self.weight_buffers.items():
+            unit = self.unit_buffers[buffer_name]
+            stacked.raw = np.broadcast_to(unit.raw, stacked.shape)
+        self._param_stacks = None
+
     # ------------------------------------------------------------------ #
     # Weight-side fault plumbing
     # ------------------------------------------------------------------ #
@@ -422,22 +436,35 @@ class BatchedQuantizedExecutor:
                 f"got {x.shape[0]} input rows for {self.n_replicas} replicas; "
                 "pass replica indices to evaluate a subset"
             )
-        input_tensor = QTensor(x, self.qformat, name=INPUT_BUFFER)
-        for hook in self.input_hooks:
-            hook(input_tensor, None)
+        # Without hooks the buffer QTensors are unobservable (the batched
+        # executor keeps no persistent activation buffers), so the common
+        # fault-free forward quantizes through the format directly — the same
+        # encode/decode round trip without the per-layer tensor wrapping.
+        if self.input_hooks:
+            input_tensor = QTensor(x, self.qformat, name=INPUT_BUFFER)
+            for hook in self.input_hooks:
+                hook(input_tensor, None)
+            x_q = input_tensor.values
+        else:
+            x_q = self.qformat.quantize(x)
         param_stacks = self._stacks_for(replicas)
 
-        def quantize(index: int, layer, out: np.ndarray) -> np.ndarray:
-            activation = QTensor(
-                out, self.qformat, name=activation_buffer_name(layer.name)
-            )
-            for hook in self.activation_hooks:
-                hook(activation, layer)
-            return activation.values
+        if self.activation_hooks:
 
-        return self.network.forward_replicas(
-            input_tensor.values, param_stacks, hooks=[quantize]
-        )
+            def quantize(index: int, layer, out: np.ndarray) -> np.ndarray:
+                activation = QTensor(
+                    out, self.qformat, name=activation_buffer_name(layer.name)
+                )
+                for hook in self.activation_hooks:
+                    hook(activation, layer)
+                return activation.values
+
+        else:
+
+            def quantize(index: int, layer, out: np.ndarray) -> np.ndarray:
+                return self.qformat.quantize(out)
+
+        return self.network.forward_replicas(x_q, param_stacks, hooks=[quantize])
 
     def __call__(self, x: np.ndarray, replicas: Optional[np.ndarray] = None) -> np.ndarray:
         return self.forward(x, replicas=replicas)

@@ -46,6 +46,22 @@ class QFormat:
             raise ValueError("a QFormat needs at least 2 bits")
         if self.total_bits > 62:
             raise ValueError("QFormat wider than 62 bits is not supported")
+        # encode/decode run once per layer per forward pass, so the derived
+        # constants are cached as numpy scalars instead of being recomputed
+        # through the Python-level properties on every call.  The scale is a
+        # power of two, so multiplying by the cached reciprocal is exactly
+        # the division it replaces.
+        object.__setattr__(self, "_scale", 2.0 ** (-self.fraction_bits))
+        object.__setattr__(self, "_inv_scale", 2.0 ** self.fraction_bits)
+        object.__setattr__(self, "_min_raw_i64", np.int64(self.min_raw))
+        object.__setattr__(self, "_max_raw_i64", np.int64(self.max_raw))
+        object.__setattr__(self, "_word_mask_i64", np.int64(self.word_mask))
+        object.__setattr__(
+            self,
+            "_sign_bit_i64",
+            np.int64(1 << (self.total_bits - 1)) if self.sign_bits else np.int64(0),
+        )
+        object.__setattr__(self, "_modulus_i64", np.int64(1 << self.total_bits))
 
     # ------------------------------------------------------------------ #
     # Derived properties
@@ -125,9 +141,16 @@ class QFormat:
     def quantize(self, values: np.ndarray) -> np.ndarray:
         """Quantize real values to this format, returning real-valued output.
 
-        Values outside the representable range saturate.
+        Values outside the representable range saturate.  Equivalent to
+        ``decode(encode(values))`` for every input (including non-finite
+        ones, which go through the same int64 conversion): after clipping,
+        the raw words already equal their decoded signed value, so the
+        two's-complement mask/unmask round trip is skipped.
         """
-        return self.decode(self.encode(values))
+        values = np.asarray(values, dtype=np.float64)
+        raw = np.rint(values * self._inv_scale).astype(np.int64)
+        raw = np.minimum(np.maximum(raw, self._min_raw_i64), self._max_raw_i64)
+        return raw.astype(np.float64) * self._scale
 
     def encode(self, values: np.ndarray) -> np.ndarray:
         """Encode real values into raw unsigned integer words (two's complement).
@@ -136,19 +159,18 @@ class QFormat:
         pattern in its low ``total_bits`` bits.
         """
         values = np.asarray(values, dtype=np.float64)
-        raw = np.rint(values / self.scale).astype(np.int64)
-        raw = np.clip(raw, self.min_raw, self.max_raw)
-        return raw & self.word_mask
+        raw = np.rint(values * self._inv_scale).astype(np.int64)
+        raw = np.minimum(np.maximum(raw, self._min_raw_i64), self._max_raw_i64)
+        return raw & self._word_mask_i64
 
     def decode(self, raw: np.ndarray) -> np.ndarray:
         """Decode raw unsigned words (two's complement) back to real values."""
-        raw = np.asarray(raw, dtype=np.int64) & self.word_mask
+        raw = np.asarray(raw, dtype=np.int64) & self._word_mask_i64
         if self.signed:
-            sign_bit = 1 << (self.total_bits - 1)
-            signed = np.where(raw & sign_bit, raw - (1 << self.total_bits), raw)
+            signed = np.where(raw & self._sign_bit_i64, raw - self._modulus_i64, raw)
         else:
             signed = raw
-        return signed.astype(np.float64) * self.scale
+        return signed.astype(np.float64) * self._scale
 
     def representable(self, values: np.ndarray, rtol: float = 0.0) -> np.ndarray:
         """Boolean mask of values that fall inside the representable range."""

@@ -21,6 +21,7 @@ __all__ = [
     "as_batched_policy",
     "evaluate_success_rate",
     "evaluate_mean_metric",
+    "evaluate_mean_metrics",
 ]
 
 #: A policy is any callable mapping a state to a discrete action.
@@ -185,3 +186,31 @@ def evaluate_mean_metric(
             )
         values.append(float(result.info[metric_key]))
     return float(np.mean(values))
+
+
+def evaluate_mean_metrics(
+    policy: BatchedPolicy,
+    env,
+    metric_key: str,
+    trials: int = 10,
+    max_steps: int = 500,
+) -> List[float]:
+    """Batched :func:`evaluate_mean_metric`: one mean per replica.
+
+    ``env`` is a :class:`~repro.envs.batched.BatchedEnv`; every episode runs
+    all replicas in lockstep via :func:`greedy_rollouts`, and replica ``r``'s
+    entry equals what :func:`evaluate_mean_metric` would report for that
+    replica's policy against a scalar environment.
+    """
+    if trials <= 0:
+        raise ValueError(f"trials must be positive, got {trials}")
+    values: List[List[float]] = [[] for _ in range(env.n_replicas)]
+    for _ in range(trials):
+        results = greedy_rollouts(policy, env, max_steps=max_steps)
+        for replica, result in enumerate(results):
+            if metric_key not in result.info:
+                raise KeyError(
+                    f"environment info does not report {metric_key!r}; got {sorted(result.info)}"
+                )
+            values[replica].append(float(result.info[metric_key]))
+    return [float(np.mean(replica_values)) for replica_values in values]

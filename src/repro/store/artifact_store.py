@@ -67,7 +67,6 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-import tempfile
 import time
 import warnings
 from dataclasses import dataclass
@@ -81,6 +80,7 @@ except ImportError:  # pragma: no cover - non-POSIX platforms
 
 from repro.api.artifact import ExperimentArtifact
 from repro.api.execution import ExecutionConfig
+from repro.io.atomic import _fsync_dir, atomic_write_text
 from repro.io.sanitize import canonical_json, json_ready
 from repro.store.fingerprint import code_fingerprint
 
@@ -187,50 +187,6 @@ class StoreEntry:
             created_at=float(data.get("created_at", 0.0)),
             wall_time_s=float(data.get("wall_time_s", 0.0)),
         )
-
-
-def _fsync_dir(path: Path) -> None:
-    """Flush a directory entry to disk (so a rename survives power loss)."""
-    try:
-        fd = os.open(path, os.O_RDONLY)
-    except OSError:
-        return  # e.g. a filesystem that cannot open directories
-    try:
-        os.fsync(fd)
-    except OSError:
-        pass
-    finally:
-        os.close(fd)
-
-
-def atomic_write_text(path: Path, payload: str, *, durable: bool = True) -> None:
-    """Write ``payload`` to ``path`` via a same-directory temp file + replace.
-
-    With ``durable=True`` (the default) the temp file is flushed and
-    fsync'd before the replace and the parent directory is fsync'd after,
-    so a crash at any instant leaves either the old file or the complete
-    new one — never a truncated or empty object.  ``durable=False`` keeps
-    only the atomicity (used for high-churn transient files such as sweep
-    worker leases, where durability across power loss buys nothing).
-    """
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    fd, tmp_name = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
-    try:
-        with os.fdopen(fd, "w") as handle:
-            handle.write(payload)
-            if durable:
-                handle.flush()
-                os.fsync(handle.fileno())
-        os.replace(tmp_name, path)
-        if durable:
-            _fsync_dir(path.parent)
-    except BaseException:
-        try:
-            os.unlink(tmp_name)
-        except OSError:
-            pass
-        raise
 
 
 class _IndexLock:

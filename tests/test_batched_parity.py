@@ -288,3 +288,141 @@ class TestFig5TrialParity:
         serial = campaign.run(trial, runner=SerialRunner())
         batched = campaign.run(trial, runner=BatchedRunner(batch_size=batch_size))
         assert [o.metric for o in batched.outcomes] == [o.metric for o in serial.outcomes]
+
+
+# --------------------------------------------------------------------------- #
+# Drone batched environment
+# --------------------------------------------------------------------------- #
+import dataclasses
+
+from repro.core.sites import BufferSelector
+from repro.envs.drone import DroneNavEnvBatch, make_drone_env
+from repro.experiments.common import build_drone_bundle
+from repro.experiments.config import DroneConfig
+from repro.experiments.fig7_drone import _DroneMSFTrial
+from repro.quant import Q16_MID
+
+
+@pytest.fixture(scope="module")
+def drone_bundle():
+    config = dataclasses.replace(DroneConfig.fast(), max_eval_steps=25)
+    return build_drone_bundle(config, seed=3)
+
+
+class TestDroneEnvBatchParity:
+    @pytest.mark.parametrize("replicas", [1, 3, 8])
+    def test_lockstep_equals_scalar(self, replicas):
+        template = make_drone_env("indoor-long", image_size=16)
+        batch = template.batched(replicas)
+        scalars = [make_drone_env("indoor-long", image_size=16) for _ in range(replicas)]
+        batch_states = batch.reset_all()
+        for r, env in enumerate(scalars):
+            assert np.array_equal(batch_states[r], env.reset())
+        rng = np.random.default_rng(42)
+        active = list(range(replicas))
+        for _ in range(60):
+            if not active:
+                break
+            actions = rng.integers(0, template.n_actions, size=len(active))
+            states, rewards, dones, infos = batch.step_many(actions, active)
+            still_active = []
+            for j, r in enumerate(active):
+                state, reward, done, info = scalars[r].step(int(actions[j]))
+                assert np.array_equal(states[j], state)
+                assert rewards[j] == reward
+                assert bool(dones[j]) == done
+                assert infos[j] == info
+                if not done:
+                    still_active.append(r)
+            active = still_active
+
+    def test_stall_rollback_matches_scalar(self):
+        # A hard-left loiter stalls; the batched env must roll flight
+        # distance back to the same value the scalar env reports.
+        batch = make_drone_env("indoor-long", image_size=16).batched(2)
+        scalar = make_drone_env("indoor-long", image_size=16)
+        batch.reset_all()
+        scalar.reset()
+        done = False
+        while not done:
+            states, rewards, dones, infos = batch.step_many([0, 0], [0, 1])
+            state, reward, done, info = scalar.step(0)
+            assert np.array_equal(states[0], state)
+            assert rewards[0] == reward and bool(dones[0]) == done
+            assert infos[0] == info
+
+    def test_validates_replicas_and_actions(self):
+        template = make_drone_env("indoor-long", image_size=16)
+        with pytest.raises(ValueError, match="n_replicas"):
+            DroneNavEnvBatch(template, 0)
+        batch = template.batched(2)
+        with pytest.raises(ValueError):
+            batch.step_many([99, 0], [0, 1])
+        with pytest.raises(ValueError):
+            batch.step_many([0], [0, 1])
+
+
+# --------------------------------------------------------------------------- #
+# Fig. 7 trials end to end
+# --------------------------------------------------------------------------- #
+DRONE_FAULT_CASES = {
+    "weight": dict(weight_fault=TransientBitFlip(1e-3)),
+    "weight-layer": dict(
+        weight_fault=TransientBitFlip(5e-3),
+        weight_selector=BufferSelector.for_layer("conv2"),
+    ),
+    "act-transient": dict(
+        activation_fault=TransientBitFlip(1e-3), activation_mode="transient"
+    ),
+    "act-permanent": dict(
+        activation_fault=StuckAtFault(1e-3, stuck_value=1),
+        activation_mode="permanent",
+    ),
+    "input": dict(input_fault=TransientBitFlip(1e-3)),
+    "qformat": dict(qformat=Q16_MID, weight_fault=TransientBitFlip(1e-3)),
+}
+
+
+class TestFig7TrialParity:
+    @pytest.mark.parametrize("case", sorted(DRONE_FAULT_CASES))
+    def test_run_batch_equals_scalar(self, drone_bundle, case):
+        trial = _DroneMSFTrial(drone_bundle, "indoor-long", **DRONE_FAULT_CASES[case])
+        seeds = _trial_seeds(3)
+        scalar = [trial(np.random.default_rng(seed)) for seed in seeds]
+        batched = trial.run_batch([np.random.default_rng(seed) for seed in seeds])
+        assert batched == scalar
+
+    @pytest.mark.parametrize("batch_size", [1, 8])
+    def test_weight_fault_batch_sizes(self, drone_bundle, batch_size):
+        trial = _DroneMSFTrial(
+            drone_bundle, "indoor-long", weight_fault=TransientBitFlip(1e-3)
+        )
+        seeds = _trial_seeds(batch_size)
+        scalar = [trial(np.random.default_rng(seed)) for seed in seeds]
+        batched = trial.run_batch([np.random.default_rng(seed) for seed in seeds])
+        assert batched == scalar
+
+    def test_envpool_backend_equals_scalar(self, drone_bundle):
+        # The generic EnvPool fallback must stay exact too — it guards the
+        # native batch and serves environments without one.
+        trial = _DroneMSFTrial(
+            drone_bundle,
+            "indoor-long",
+            weight_fault=TransientBitFlip(1e-3),
+            env_backend="pool",
+        )
+        seeds = _trial_seeds(3)
+        scalar = [trial(np.random.default_rng(seed)) for seed in seeds]
+        batched = trial.run_batch([np.random.default_rng(seed) for seed in seeds])
+        assert batched == scalar
+
+    def test_batched_runner_campaign_equals_serial(self, drone_bundle):
+        # Repetitions not divisible by the batch size: the final ragged
+        # batch exercises a smaller evaluator and environment batch.
+        trial = _DroneMSFTrial(
+            drone_bundle, "indoor-long", weight_fault=TransientBitFlip(1e-3)
+        )
+        campaign = Campaign("parity-fig7", repetitions=5, seed=11)
+        serial = campaign.run(trial, runner=SerialRunner())
+        batched = campaign.run(trial, runner=BatchedRunner(batch_size=2))
+        assert [o.metric for o in batched.outcomes] == [o.metric for o in serial.outcomes]

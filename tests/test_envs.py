@@ -14,7 +14,16 @@ from repro.envs import (
     make_drone_env,
     make_gridworld,
 )
-from repro.envs.drone import ActionSpace25, CorridorWorld, DepthCamera, Rect, indoor_long, indoor_vanleer
+from repro.envs.drone import (
+    ActionSpace25,
+    CorridorWorld,
+    DepthCamera,
+    DroneNavEnv,
+    Rect,
+    indoor_long,
+    indoor_vanleer,
+    wrap_angle,
+)
 from repro.envs.drone.expert import GreedyDepthExpert, collect_dataset
 from repro.envs.gridworld import ACTION_DELTAS, GOAL, HELL
 
@@ -254,6 +263,119 @@ class TestDroneEnv:
         env.reset()
         with pytest.raises(ValueError):
             env.step(99)
+
+    def test_collision_on_first_substep_reports_zero_flight(self):
+        # An obstacle 0.25 m in front of the start (within collision_radius)
+        # must terminate on the very first substep with no distance flown.
+        world = CorridorWorld(10.0, 6.0, [Rect(2.5, 0.0, 3.5, 6.0)], (2.0, 3.0, 0.0))
+        env = DroneNavEnv(world=world, camera=DepthCamera(16, 16))
+        env.reset()
+        _, reward, done, info = env.step(env.actions.straight_action)
+        assert done
+        assert reward == env.collision_penalty
+        assert info["flight_distance"] == 0.0
+        assert info["success"] is False
+
+    def test_success_exactly_at_max_flight_distance(self):
+        # Four 0.25 m substeps reach max_flight_distance=1.0 exactly; the
+        # >= comparison must declare success on the boundary.
+        world = CorridorWorld(20.0, 6.0, [], (2.0, 3.0, 0.0))
+        env = DroneNavEnv(
+            world=world, camera=DepthCamera(16, 16), max_flight_distance=1.0
+        )
+        env.reset()
+        _, _, done, info = env.step(env.actions.straight_action)
+        assert done
+        assert info["success"] is True
+        assert info["flight_distance"] == 1.0
+
+    def test_stall_rollback_restores_progress_distance(self):
+        # A loitering policy's reported flight distance must equal the
+        # distance at the point where progress stopped (stall_window steps
+        # before detection), not the inflated circling distance.
+        env = make_drone_env(
+            "indoor-long", image_size=16, stall_window=6, stall_distance=2.0
+        )
+        env.reset()
+        flights = [0.0]
+        done = False
+        step = 0
+        while not done:
+            step += 1
+            _, reward, done, info = env.step(0)
+            flights.append(info["flight_distance"])
+        assert reward == env.collision_penalty / 2.0  # stalled, not collided
+        assert info["flight_distance"] == flights[step - env.stall_window]
+        assert env.flight_distance == info["flight_distance"]
+
+    def test_heading_stays_wrapped_during_circling(self):
+        env = make_drone_env("indoor-long", image_size=16, stall_distance=0.0)
+        env.reset()
+        for _ in range(40):
+            _, _, done, _ = env.step(0)  # winds far past 2*pi unwrapped
+            heading = env.pose[2]
+            assert -np.pi < heading <= np.pi
+            assert not done
+
+    def test_trajectory_golden(self):
+        # Pinned scalar trajectory (generated from this revision): guards
+        # the heading-wrap change and any future vectorization refactors.
+        env = make_drone_env("indoor-long", image_size=16)
+        env.reset()
+        golden = [
+            (12, 3.0, 3.0, 0.0, 0.59999999999999998, 1.0),
+            (10, 3.9848077530122072, 3.1736481776669301, 0.17453292519943295, 0.57105863705551163, 2.0),
+            (14, 4.9848077530122072, 3.1736481776669301, 0.0, 0.57105863705551163, 3.0),
+            (12, 5.9848077530122072, 3.1736481776669301, 0.0, 0.57105863705551163, 4.0),
+            (8, 6.9245003737981161, 3.5156683209925994, 0.3490658503988659, 0.51405527983456678, 5.0),
+            (16, 7.9245003737981161, 3.5156683209925994, 0.0, 0.51405527983456678, 6.0),
+            (12, 8.9245003737981161, 3.5156683209925994, 0.0, 0.51405527983456678, 7.0),
+            (12, 9.9245003737981161, 3.5156683209925994, 0.0, 0.51405527983456678, 8.0),
+        ]
+        for action, x, y, heading, reward, flight in golden:
+            _, got_reward, done, info = env.step(action)
+            assert env.pose[0] == pytest.approx(x, rel=1e-6)
+            assert env.pose[1] == pytest.approx(y, rel=1e-6)
+            assert env.pose[2] == pytest.approx(heading, rel=1e-6, abs=1e-12)
+            assert got_reward == pytest.approx(reward, rel=1e-6)
+            assert info["flight_distance"] == pytest.approx(flight, rel=1e-6)
+            assert not done
+
+
+class TestWrapAngle:
+    def test_values(self):
+        assert float(wrap_angle(0.0)) == 0.0
+        assert float(wrap_angle(np.pi)) == np.pi
+        assert float(wrap_angle(-np.pi)) == pytest.approx(np.pi)
+        assert float(wrap_angle(3 * np.pi / 2)) == pytest.approx(-np.pi / 2)
+        assert float(wrap_angle(-3 * np.pi / 2)) == pytest.approx(np.pi / 2)
+
+    def test_in_range_angles_bit_unchanged(self):
+        vals = np.linspace(-3.14, 3.14, 13)
+        assert np.array_equal(wrap_angle(vals), vals)
+
+    def test_wrapped_angles_preserve_direction(self):
+        big = np.array([7.0, -7.0, 123.456, -50.0])
+        wrapped = wrap_angle(big)
+        assert np.all((wrapped > -np.pi) & (wrapped <= np.pi))
+        np.testing.assert_allclose(np.cos(wrapped), np.cos(big), atol=1e-12)
+        np.testing.assert_allclose(np.sin(wrapped), np.sin(big), atol=1e-12)
+
+
+class TestClearanceFan:
+    def test_no_duplicate_rays(self):
+        # endpoint=False excludes 2*pi, so no direction is cast twice.
+        angles = np.linspace(0.0, 2.0 * np.pi, 16, endpoint=False)
+        assert len(np.unique(np.mod(angles, 2.0 * np.pi))) == len(angles)
+
+    def test_batched_clearance_matches_scalar(self):
+        world = indoor_long()
+        rng = np.random.default_rng(5)
+        xs = rng.uniform(1.0, 90.0, 32)
+        ys = rng.uniform(0.5, 5.5, 32)
+        batched = world.clearances(xs, ys)
+        scalar = np.array([world.clearance(x, y) for x, y in zip(xs, ys)])
+        assert np.array_equal(batched, scalar)
 
 
 class TestDroneExpert:
