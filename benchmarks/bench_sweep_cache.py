@@ -23,6 +23,7 @@ from bench_snapshot_lib import write_snapshot
 from repro import api
 from repro.api import ExecutionConfig
 from repro.core.runner import executed_trial_count
+from repro.store import ArtifactStore
 from repro.sweep import SweepSpec
 
 #: The guardrail sweep: two real fig5 points at the unit-test preset.
@@ -32,7 +33,9 @@ EXECUTION = ExecutionConfig(seed=13, repetitions=2)
 
 
 def test_warm_sweep_executes_zero_trials(tmp_path):
-    store = tmp_path / "store"
+    # A real ArtifactStore instance (not just its path) so the warm phase
+    # can also be audited through the store's own hit/miss counters.
+    store = ArtifactStore(tmp_path / "store")
 
     start = time.perf_counter()
     cold = api.sweep(SWEEP, execution=EXECUTION, store=store)
@@ -43,16 +46,26 @@ def test_warm_sweep_executes_zero_trials(tmp_path):
     assert cold.executed_trials > 0
 
     before = executed_trial_count()
+    hits_before, misses_before = store.hits, store.misses
     start = time.perf_counter()
     warm = api.sweep(SWEEP, execution=EXECUTION, store=store)
     warm_s = time.perf_counter() - start
     executed = executed_trial_count() - before
+    warm_hits = store.hits - hits_before
+    warm_misses = store.misses - misses_before
 
     assert executed == 0, (
         f"warm-cache sweep re-executed {executed} trial(s); the artifact "
         "store failed to serve every point"
     )
     assert warm.cache_hits == len(warm.points) == 2
+    # 100% hit rate, counted at the store itself: one hit per point and not
+    # a single miss during the warm phase.
+    assert warm_misses == 0, f"warm sweep missed the store {warm_misses} time(s)"
+    assert warm_hits == len(warm.points), (
+        f"warm sweep hit the store {warm_hits} time(s) for "
+        f"{len(warm.points)} points"
+    )
     assert warm.table().rows == cold.table().rows, (
         "cache-served sweep results differ from the freshly computed ones"
     )
@@ -73,6 +86,8 @@ def test_warm_sweep_executes_zero_trials(tmp_path):
             "cold_trials": cold.executed_trials,
             "warm_s": warm_s,
             "warm_trials": executed,
+            "warm_store_hits": warm_hits,
+            "warm_store_misses": warm_misses,
             "speedup": cold_s / max(warm_s, 1e-9),
         },
     )

@@ -15,6 +15,8 @@ The package is organised bottom-up:
 * :mod:`repro.api` — the public entry point: ``repro.api.run(name,
   execution=ExecutionConfig(...))`` executes any registered experiment and
   returns a provenance-carrying :class:`~repro.api.ExperimentArtifact`.
+* :mod:`repro.telemetry` — typed event bus, JSONL trace sinks and timing
+  metrics published by every engine (free when nobody subscribes).
 """
 
 __version__ = "1.0.0"
@@ -30,4 +32,5 @@ __all__ = [
     "io",
     "experiments",
     "api",
+    "telemetry",
 ]

@@ -36,15 +36,23 @@ so an interrupted sweep can be restarted with ``--resume``.
 ``REPRO_CAMPAIGN_BATCH`` keep working as environment-level defaults.
 With ``--out-dir`` each experiment writes its full
 :class:`~repro.api.ExperimentArtifact` (result + provenance) as JSON.
+
+Every run/sweep subcommand also takes the observability flags: ``--trace
+PATH`` (or ``REPRO_TRACE``) records every telemetry event as JSONL,
+``--progress`` shows a live status line, ``--quiet`` silences progress
+(result tables still print), and ``python -m repro trace summarize|validate
+FILE`` post-processes a recorded trace.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
+import os
 import sys
 from pathlib import Path
-from typing import Dict, List, Optional
+from typing import Dict, Iterator, List, Optional
 
 from repro.experiments.registry import (
     ParamSpec,
@@ -106,6 +114,27 @@ def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
         default=None,
         metavar="DIR",
         help="write each experiment's artifact (result + provenance) as JSON into DIR",
+    )
+    observability = parser.add_argument_group("observability")
+    observability.add_argument(
+        "--trace",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="record every telemetry event as JSONL to PATH (default: "
+        "REPRO_TRACE if set; summarize later with 'python -m repro trace "
+        "summarize PATH')",
+    )
+    observability.add_argument(
+        "--progress",
+        action="store_true",
+        help="show a live rewritten status line (trials, cache hits, CI "
+        "half-width) on stderr instead of per-point progress lines",
+    )
+    observability.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress progress output (result tables still print)",
     )
 
 
@@ -230,6 +259,50 @@ def _add_sweep_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
+@contextlib.contextmanager
+def _cli_telemetry(args, *, default_progress: bool = False) -> Iterator[None]:
+    """Attach the trace sink / progress reporter the CLI flags ask for.
+
+    ``--trace`` (or ``REPRO_TRACE``) subscribes a JSONL
+    :class:`~repro.telemetry.TraceSink`; ``--progress`` a live status line;
+    ``default_progress=True`` (the sweep subcommand) a per-point progress
+    line unless ``--quiet``.  Everything is unsubscribed and closed on the
+    way out, including on ``parser.error`` exits.
+    """
+    from repro.telemetry import TRACE_ENV_VAR, ProgressReporter, TraceSink, default_bus
+
+    trace = args.trace
+    if trace is None:
+        env_trace = os.environ.get(TRACE_ENV_VAR, "")
+        trace = Path(env_trace) if env_trace else None
+    bus = default_bus()
+    sink = reporter = None
+    try:
+        if trace is not None:
+            sink = TraceSink(trace)
+            bus.subscribe(sink)
+        if not args.quiet:
+            if args.progress:
+                reporter = ProgressReporter(mode="live")
+            elif default_progress:
+                reporter = ProgressReporter(mode="lines")
+            if reporter is not None:
+                bus.subscribe(reporter)
+        yield
+    finally:
+        if reporter is not None:
+            bus.unsubscribe(reporter)
+            reporter.close()
+        if sink is not None:
+            bus.unsubscribe(sink)
+            sink.close()
+            if not args.quiet:
+                print(
+                    f"trace written to {trace} ({sink.events_written} events)",
+                    file=sys.stderr,
+                )
+
+
 def _flag_name(param: ParamSpec) -> str:
     return "--" + param.name.replace("_", "-")
 
@@ -319,6 +392,40 @@ def build_parser() -> argparse.ArgumentParser:
     _add_sweep_flags(sweep_parser)
     parser.figure_parsers["sweep"] = sweep_parser
 
+    trace_parser = subparsers.add_parser(
+        "trace",
+        help="summarize or validate a JSONL telemetry trace",
+        description="Work with traces recorded via --trace / REPRO_TRACE.",
+    )
+    trace_actions = trace_parser.add_subparsers(
+        dest="trace_action", metavar="action", required=True
+    )
+    summarize_parser = trace_actions.add_parser(
+        "summarize",
+        help="fold a trace into a telemetry report (counters + phase timings)",
+        description="Aggregate every event of a JSONL trace into counters and "
+        "per-phase timing tables.",
+    )
+    summarize_parser.add_argument(
+        "trace_file", type=Path, metavar="FILE", help="JSONL trace to summarize"
+    )
+    summarize_parser.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="emit the report as machine-readable JSON",
+    )
+    validate_parser = trace_actions.add_parser(
+        "validate",
+        help="strictly parse a trace, failing on malformed or unknown events",
+        description="Parse every line of a JSONL trace against the typed event "
+        "schema; any malformed line or unknown event kind fails the check.",
+    )
+    validate_parser.add_argument(
+        "trace_file", type=Path, metavar="FILE", help="JSONL trace to validate"
+    )
+    parser.figure_parsers["trace"] = trace_parser
+
     for figure in figures():
         specs = specs_for_figure(figure)
         summary = "; ".join(spec.description for spec in specs)
@@ -395,6 +502,29 @@ def _parse_axis_arg(text: str, parser: argparse.ArgumentParser):
     return name, [v for v in values.split(",") if v != ""]
 
 
+def _run_trace(args, parser: argparse.ArgumentParser) -> int:
+    """The ``trace`` subcommand: summarize / validate a JSONL trace."""
+    from repro.telemetry import TelemetryReport, read_trace
+
+    reporter = parser.figure_parsers["trace"]
+    if not args.trace_file.is_file():
+        reporter.error(f"no such trace file: {args.trace_file}")
+    if args.trace_action == "validate":
+        try:
+            events = read_trace(args.trace_file, strict=True)
+        except ValueError as exc:
+            print(f"invalid trace {args.trace_file}: {exc}", file=sys.stderr)
+            return 1
+        print(f"{args.trace_file}: {len(events)} events, all valid")
+        return 0
+    report = TelemetryReport.from_trace(args.trace_file)
+    if args.as_json:
+        print(json.dumps(report.summary_dict(), indent=2, default=float))
+    else:
+        print(report.render())
+    return 0
+
+
 def _run_sweep(args, parser: argparse.ArgumentParser) -> int:
     from repro import api
     from repro.io.tables import render_table
@@ -440,29 +570,30 @@ def _run_sweep(args, parser: argparse.ArgumentParser) -> int:
     except (KeyError, ValueError, TypeError) as exc:
         reporter.error(str(exc))
 
-    def progress(done: int, total: int) -> None:
-        print(f"  sweep point {done}/{total}", flush=True)
-
+    # Progress is no longer a hard-wired print: the sweep loop emits
+    # telemetry events and _cli_telemetry decides what (if anything) gets
+    # rendered — per-point lines by default, a live status line under
+    # --progress, nothing under --quiet.
     try:
-        artifact = api.sweep(
-            sweep_spec,
-            execution=execution,
-            repetitions=repetitions,
-            target_ci=args.target_ci,
-            initial_repetitions=args.initial_reps,
-            growth=args.growth,
-            max_repetitions=args.max_reps,
-            cache=args.cache,
-            store=args.store,
-            checkpoint=args.sweep_checkpoint,
-            sweep_workers=args.sweep_workers,
-            # --resume means "resume whatever was checkpointed": sweep-level
-            # resume only applies when a sweep checkpoint exists (the
-            # campaign-level --checkpoint-dir resume is handled by the
-            # ExecutionConfig built above).
-            resume=bool(args.resume and args.sweep_checkpoint is not None),
-            progress=progress,
-        )
+        with _cli_telemetry(args, default_progress=True):
+            artifact = api.sweep(
+                sweep_spec,
+                execution=execution,
+                repetitions=repetitions,
+                target_ci=args.target_ci,
+                initial_repetitions=args.initial_reps,
+                growth=args.growth,
+                max_repetitions=args.max_reps,
+                cache=args.cache,
+                store=args.store,
+                checkpoint=args.sweep_checkpoint,
+                sweep_workers=args.sweep_workers,
+                # --resume means "resume whatever was checkpointed":
+                # sweep-level resume only applies when a sweep checkpoint
+                # exists (the campaign-level --checkpoint-dir resume is
+                # handled by the ExecutionConfig built above).
+                resume=bool(args.resume and args.sweep_checkpoint is not None),
+            )
     except (KeyError, ValueError, TypeError) as exc:
         reporter.error(str(exc))
 
@@ -493,25 +624,36 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.figure == "sweep":
         return _run_sweep(args, parser)
+    if args.figure == "trace":
+        return _run_trace(args, parser)
 
     from repro import api
     from repro.io.tables import render_table
 
     execution = _execution_from_args(args, parser)
-    for spec in specs_for_figure(args.figure):
-        params = {param.name: getattr(args, param.name) for param in spec.params}
-        try:
-            params = spec.resolve_params(params)
-        except (TypeError, ValueError) as exc:
-            parser.figure_parsers[args.figure].error(str(exc))
-        artifact = api.run(spec, params, execution=execution)
-        print()
-        print(render_table(artifact.as_table()))
-        if args.out_dir is not None:
-            args.out_dir.mkdir(parents=True, exist_ok=True)
-            artifact.to_json(args.out_dir / f"{_artifact_slug(artifact.title)}.json")
+    with _cli_telemetry(args):
+        for spec in specs_for_figure(args.figure):
+            params = {param.name: getattr(args, param.name) for param in spec.params}
+            try:
+                params = spec.resolve_params(params)
+            except (TypeError, ValueError) as exc:
+                parser.figure_parsers[args.figure].error(str(exc))
+            artifact = api.run(spec, params, execution=execution)
+            print()
+            print(render_table(artifact.as_table()))
+            if args.out_dir is not None:
+                args.out_dir.mkdir(parents=True, exist_ok=True)
+                artifact.to_json(args.out_dir / f"{_artifact_slug(artifact.title)}.json")
     return 0
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # Downstream pipe reader (e.g. `... | head`) closed early; not an
+        # error.  Detach stdout so the interpreter's exit-time flush does
+        # not raise a second time.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        sys.exit(0)

@@ -25,8 +25,10 @@ as deprecated shims delegating to the same machinery.
 
 from __future__ import annotations
 
+import contextlib
+import dataclasses
 import time
-from typing import Any, List, Mapping, Optional
+from typing import Any, Iterator, List, Mapping, Optional
 
 from repro.api.artifact import ExperimentArtifact
 from repro.api.execution import ExecutionConfig, resolve_execution
@@ -40,6 +42,32 @@ __all__ = [
     "get_spec",
     "list_experiments",
 ]
+
+
+@contextlib.contextmanager
+def _telemetry_collector() -> Iterator[Optional[Any]]:
+    """Yield a subscribed :class:`~repro.telemetry.Metrics`, or ``None``.
+
+    When the process-global event bus has subscribers (a trace sink, a
+    progress reporter, …) this attaches a metrics aggregator for the
+    duration of the ``with`` block so the resulting artifact can carry a
+    ``telemetry`` summary.  On the untraced fast path it yields ``None``
+    without importing anything beyond the bus module.
+    """
+    from repro.telemetry.bus import default_bus
+
+    bus = default_bus()
+    if not bus.active:
+        yield None
+        return
+    from repro.telemetry.metrics import Metrics
+
+    collector = Metrics()
+    bus.subscribe(collector)
+    try:
+        yield collector
+    finally:
+        bus.unsubscribe(collector)
 
 
 def get_spec(name: str):
@@ -106,33 +134,47 @@ def run(
     resolved_params = spec.resolve_params(merged)
     execution = (execution or ExecutionConfig()).resolved()
 
-    digest = None
-    if cache != "off" or store is not None:
-        from repro.store import artifact_key, resolve_store, validate_cache_policy
+    with _telemetry_collector() as collector:
+        digest = None
+        if cache != "off" or store is not None:
+            from repro.store import artifact_key, resolve_store, validate_cache_policy
 
-        validate_cache_policy(cache)
-        if cache == "off":
-            raise TypeError("store= was given but cache='off'; pass cache='reuse' or 'refresh'")
-        store = resolve_store(store)
-        digest = artifact_key(spec.name, resolved_params, execution)
-        if cache == "reuse":
-            hit = store.get(digest)
-            if hit is not None:
-                return hit
+            validate_cache_policy(cache)
+            if cache == "off":
+                raise TypeError(
+                    "store= was given but cache='off'; pass cache='reuse' or 'refresh'"
+                )
+            store = resolve_store(store)
+            digest = artifact_key(spec.name, resolved_params, execution)
+            if cache == "reuse":
+                hit = store.get(digest)
+                if hit is not None:
+                    if collector is not None:
+                        hit = dataclasses.replace(
+                            hit, telemetry=collector.summary_dict()
+                        )
+                    return hit
 
-    start = time.perf_counter()
-    result = spec.run_fn(execution, **resolved_params)
-    wall_time = time.perf_counter() - start
-    artifact = ExperimentArtifact(
-        spec_name=spec.name,
-        params=resolved_params,
-        execution=execution,
-        wall_time_s=wall_time,
-        result=result,
-    )
-    if digest is not None:
-        store.put(artifact, digest=digest)
-    return artifact
+        start = time.perf_counter()
+        result = spec.run_fn(execution, **resolved_params)
+        wall_time = time.perf_counter() - start
+        artifact = ExperimentArtifact(
+            spec_name=spec.name,
+            params=resolved_params,
+            execution=execution,
+            wall_time_s=wall_time,
+            result=result,
+        )
+        # The store always receives the telemetry-free form so stored bytes
+        # (and hence digest-addressed content) are identical with tracing on
+        # or off; the summary rides only on the object handed back.
+        if digest is not None:
+            store.put(artifact, digest=digest)
+        if collector is not None:
+            artifact = dataclasses.replace(
+                artifact, telemetry=collector.summary_dict()
+            )
+        return artifact
 
 
 def sweep(
@@ -271,6 +313,10 @@ def sweep(
         )
     else:
         runner = SweepRunner(cache=cache, store=store, progress=progress)
-    return runner.run(
-        sweep_spec, execution, adaptive=adaptive, checkpoint=checkpoint, resume=resume
-    )
+    with _telemetry_collector() as collector:
+        artifact = runner.run(
+            sweep_spec, execution, adaptive=adaptive, checkpoint=checkpoint, resume=resume
+        )
+        if collector is not None:
+            artifact.telemetry = collector.summary_dict()
+        return artifact

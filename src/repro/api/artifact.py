@@ -38,6 +38,11 @@ class ExperimentArtifact:
     execution: ExecutionConfig
     wall_time_s: float
     result: Union[ResultTable, SeriesResult]
+    #: Telemetry summary of the run that produced this artifact (counters
+    #: and phase timers from :class:`repro.telemetry.Metrics`); ``None``
+    #: when the run was untraced, and omitted from the JSON form so traced
+    #: and untraced artifacts serialize identically apart from this block.
+    telemetry: Optional[Dict[str, Any]] = None
 
     @property
     def title(self) -> str:
@@ -65,21 +70,22 @@ class ExperimentArtifact:
         # whole payload goes through json_ready so numpy scalars in params or
         # result cells round-trip losslessly (the artifact store digests this
         # representation).
-        return json_ready(
-            {
-                "kind": _ARTIFACT_KIND,
-                "spec": self.spec_name,
-                "params": dict(self.params),
-                "execution": self.execution.to_json_dict(),
-                "engine": self.engine,
-                "seed": self.seed,
-                "wall_time_s": self.wall_time_s,
-                "result": {
-                    "kind": result_kind(self.result),
-                    **self.result.to_json_dict(),
-                },
-            }
-        )
+        payload = {
+            "kind": _ARTIFACT_KIND,
+            "spec": self.spec_name,
+            "params": dict(self.params),
+            "execution": self.execution.to_json_dict(),
+            "engine": self.engine,
+            "seed": self.seed,
+            "wall_time_s": self.wall_time_s,
+            "result": {
+                "kind": result_kind(self.result),
+                **self.result.to_json_dict(),
+            },
+        }
+        if self.telemetry is not None:
+            payload["telemetry"] = dict(self.telemetry)
+        return json_ready(payload)
 
     def to_json(self, path: Optional[Path] = None) -> str:
         """Serialize to JSON; optionally also write to ``path``."""
@@ -99,12 +105,14 @@ class ExperimentArtifact:
         result_cls = RESULT_KINDS.get(result_data.pop("kind", None))
         if result_cls is None:
             raise ValueError(f"unknown result kind in artifact {data.get('spec')!r}")
+        telemetry = data.get("telemetry")
         return cls(
             spec_name=data["spec"],
             params=dict(data["params"]),
             execution=ExecutionConfig.from_json_dict(data["execution"]),
             wall_time_s=float(data["wall_time_s"]),
             result=result_cls.from_json_dict(result_data),
+            telemetry=None if telemetry is None else dict(telemetry),
         )
 
     @classmethod

@@ -26,6 +26,7 @@ restarts an interrupted campaign from the trials already on disk.
 from __future__ import annotations
 
 import os
+import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple, Union
 
@@ -33,6 +34,8 @@ import numpy as np
 
 from repro.core.envvars import env_positive_int
 from repro.metrics.statistics import mean_confidence_interval, wilson_confidence_interval
+from repro.telemetry.bus import campaign_scope, default_bus
+from repro.telemetry.events import CampaignFinished, CampaignProgress, CampaignStarted
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (io imports campaign)
     from repro.core.runner import CampaignRunner
@@ -228,21 +231,50 @@ class Campaign:
         if progress is not None and done:
             progress(done, total)
 
+        # Telemetry brackets the execution; `traced` is latched here so the
+        # Started/Finished pair can never come apart if a subscriber attaches
+        # or detaches mid-campaign.  Restored trials emit no trial events.
+        bus = default_bus()
+        traced = bus.active
+        started_at = time.perf_counter()
+        if traced:
+            bus.emit(
+                CampaignStarted(
+                    campaign=self.name,
+                    repetitions=total,
+                    restored=done,
+                    engine=getattr(runner, "engine_name", type(runner).__name__),
+                )
+            )
+
         def on_result(index: int, outcome: TrialOutcome) -> None:
             nonlocal done
             done += 1
             if checkpoint is not None:
                 checkpoint.append(index, outcome)
+            if traced:
+                bus.emit(CampaignProgress(campaign=self.name, done=done, total=total))
             if progress is not None:
                 progress(done, total)
 
-        for index, outcome in runner.run_trials(trial_fn, pending, on_result=on_result):
-            completed[index] = outcome
+        with campaign_scope(self.name):
+            for index, outcome in runner.run_trials(trial_fn, pending, on_result=on_result):
+                completed[index] = outcome
 
         result = CampaignResult(name=self.name)
         result.outcomes = [completed[i] for i in range(self.repetitions)]
         result.executed_trials = len(pending)
         result.restored_trials = total - len(pending)
+        if traced:
+            bus.emit(
+                CampaignFinished(
+                    campaign=self.name,
+                    repetitions=total,
+                    executed_trials=result.executed_trials,
+                    restored_trials=result.restored_trials,
+                    wall_time_s=time.perf_counter() - started_at,
+                )
+            )
         return result
 
 

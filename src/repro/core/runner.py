@@ -37,12 +37,15 @@ from __future__ import annotations
 import multiprocessing
 import os
 import sys
+import time
 import traceback
 from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.core.envvars import env_positive_int, parse_positive_int
+from repro.telemetry.bus import current_campaign, default_bus, reset_default_bus
+from repro.telemetry.events import TrialFinished, TrialStarted
 
 __all__ = [
     "TrialExecutionError",
@@ -204,8 +207,41 @@ def _validated(outcome, trial_index: int):
     return outcome
 
 
+def _emit_trial_pair(
+    bus,
+    index: int,
+    outcome,
+    engine: str,
+    wall_time_s: float,
+    batched: bool = False,
+) -> None:
+    """Emit the TrialStarted/TrialFinished pair for one completed trial.
+
+    Used by the pool-backed engines, where the parent only learns of a
+    trial when its result arrives: the pair is emitted back-to-back at
+    receipt time, with ``wall_time_s`` measured inside the worker.  Callers
+    must have checked ``bus.active`` already.
+    """
+    campaign = current_campaign()
+    bus.emit(TrialStarted(campaign=campaign, trial=index, engine=engine))
+    bus.emit(
+        TrialFinished(
+            campaign=campaign,
+            trial=index,
+            engine=engine,
+            wall_time_s=wall_time_s,
+            batched=batched,
+            success=outcome.success,
+            metric=outcome.metric,
+        )
+    )
+
+
 class CampaignRunner:
     """Executes a batch of independently seeded campaign trials."""
+
+    #: Engine discriminator stamped onto trial telemetry events.
+    engine_name = ""
 
     def run_trials(
         self,
@@ -225,17 +261,40 @@ class CampaignRunner:
 class SerialRunner(CampaignRunner):
     """Runs trials one after another in the calling process."""
 
+    engine_name = "serial"
+
     def run_trials(
         self,
         trial_fn,
         tasks: Sequence[TrialTask],
         on_result: Optional[ResultCallback] = None,
     ) -> List[Tuple[int, "TrialOutcome"]]:
+        bus = default_bus()
+        campaign = current_campaign() if bus.active else ""
         results: List[Tuple[int, "TrialOutcome"]] = []
         for index, seed in tasks:
+            # Latch the active state per trial so a subscriber attached or
+            # detached mid-trial can never produce an unpaired event.
+            active = bus.active
+            if active:
+                bus.emit(
+                    TrialStarted(campaign=campaign, trial=index, engine=self.engine_name)
+                )
+                started = time.perf_counter()
             rng = np.random.default_rng(seed)
             outcome = _validated(trial_fn(rng), index)
             EXECUTION_STATS.record()
+            if active:
+                bus.emit(
+                    TrialFinished(
+                        campaign=campaign,
+                        trial=index,
+                        engine=self.engine_name,
+                        wall_time_s=time.perf_counter() - started,
+                        success=outcome.success,
+                        metric=outcome.metric,
+                    )
+                )
             results.append((index, outcome))
             if on_result is not None:
                 on_result(index, outcome)
@@ -255,6 +314,11 @@ _WORKER_TRIAL_FN = None
 def _init_worker(trial_fn) -> None:
     global _WORKER_TRIAL_FN
     _WORKER_TRIAL_FN = trial_fn
+    # Forked workers inherit the parent's bus *and its subscribers* — a
+    # parent TraceSink delivering from many workers would interleave writes
+    # into one file.  Workers measure wall times and ship them back instead;
+    # the parent emits the events.
+    reset_default_bus()
 
 
 def _resolve_start_method(start_method: Optional[str]) -> str:
@@ -303,15 +367,26 @@ def _run_on_pool(
 
 
 def _run_remote_trial(task: TrialTask):
-    """Worker-side trial execution; exceptions are shipped back as data."""
+    """Worker-side trial execution; exceptions are shipped back as data.
+
+    Returns ``(index, outcome, error, wall_time_s)`` — the wall time is
+    measured here, in the worker, and shipped back so the parent can emit
+    accurate trial telemetry without subscribing anything in the worker.
+    """
     index, seed = task
+    started = time.perf_counter()
     try:
         rng = np.random.default_rng(seed)
         outcome = _validated(_WORKER_TRIAL_FN(rng), index)
-        return index, outcome, None
+        return index, outcome, None, time.perf_counter() - started
     except Exception as exc:  # surfaced as TrialExecutionError in the parent;
         # KeyboardInterrupt/SystemExit must keep killing the worker normally.
-        return index, None, (f"{type(exc).__name__}: {exc}", traceback.format_exc())
+        return (
+            index,
+            None,
+            (f"{type(exc).__name__}: {exc}", traceback.format_exc()),
+            time.perf_counter() - started,
+        )
 
 
 def _execute_batch(trial_fn, batch: Sequence[TrialTask]) -> List[Tuple[int, "TrialOutcome"]]:
@@ -341,23 +416,33 @@ def _execute_batch(trial_fn, batch: Sequence[TrialTask]) -> List[Tuple[int, "Tri
 
 
 def _run_remote_batch(batch: Sequence[TrialTask]):
-    """Worker-side batch execution; exceptions are shipped back as data."""
+    """Worker-side batch execution; exceptions are shipped back as data.
+
+    Returns ``(results, error, batch_wall_s)`` — the whole-batch wall time
+    travels back so the parent can amortize it over the batch when emitting
+    per-trial telemetry (a vectorized batch has no per-trial wall time).
+    """
+    started = time.perf_counter()
     if not supports_batching(_WORKER_TRIAL_FN):
         # Scalar fallback inside the batch: run trial by trial so a failure
         # is attributed to the exact trial that raised.
         results = []
         for task in batch:
-            index, outcome, error = _run_remote_trial(task)
+            index, outcome, error, _wall = _run_remote_trial(task)
             if error is not None:
-                return None, (index, error[0], error[1])
+                return None, (index, error[0], error[1]), time.perf_counter() - started
             results.append((index, outcome))
-        return results, None
+        return results, None, time.perf_counter() - started
     try:
-        return _execute_batch(_WORKER_TRIAL_FN, batch), None
+        return _execute_batch(_WORKER_TRIAL_FN, batch), None, time.perf_counter() - started
     except Exception as exc:
         # A vectorized failure cannot be pinned on one trial; report the
         # first index of the batch alongside the worker traceback.
-        return None, (batch[0][0], f"{type(exc).__name__}: {exc}", traceback.format_exc())
+        return (
+            None,
+            (batch[0][0], f"{type(exc).__name__}: {exc}", traceback.format_exc()),
+            time.perf_counter() - started,
+        )
 
 
 class ParallelRunner(CampaignRunner):
@@ -377,6 +462,8 @@ class ParallelRunner(CampaignRunner):
         elsewhere — forking is unsafe on macOS, whose default is ``"spawn"``,
         which needs picklable trial functions.
     """
+
+    engine_name = "parallel"
 
     def __init__(
         self,
@@ -408,14 +495,17 @@ class ParallelRunner(CampaignRunner):
         tasks = list(tasks)
         if not tasks:
             return []
+        bus = default_bus()
         results: List[Tuple[int, "TrialOutcome"]] = []
 
         def handle(result) -> None:
-            index, outcome, error = result
+            index, outcome, error, wall_time_s = result
             if error is not None:
                 message, worker_tb = error
                 raise TrialExecutionError(index, message, worker_tb)
             EXECUTION_STATS.record()
+            if bus.active:
+                _emit_trial_pair(bus, index, outcome, self.engine_name, wall_time_s)
             results.append((index, outcome))
             if on_result is not None:
                 on_result(index, outcome)
@@ -460,6 +550,8 @@ class BatchedRunner(CampaignRunner):
         Pool start method, as for :class:`ParallelRunner`.
     """
 
+    engine_name = "batched"
+
     def __init__(
         self,
         batch_size: Optional[int] = None,
@@ -491,27 +583,39 @@ class BatchedRunner(CampaignRunner):
         tasks = list(tasks)
         if not tasks:
             return []
+        bus = default_bus()
         batches = self._batches(tasks)
         results: List[Tuple[int, "TrialOutcome"]] = []
 
-        def collect(batch_results: List[Tuple[int, "TrialOutcome"]]) -> None:
+        def collect(
+            batch_results: List[Tuple[int, "TrialOutcome"]], batch_wall_s: float
+        ) -> None:
+            # A vectorized batch has no per-trial wall time: amortize the
+            # batch wall over its trials and flag the events as batched.
+            per_trial_s = batch_wall_s / len(batch_results) if batch_results else 0.0
             for index, outcome in batch_results:
                 EXECUTION_STATS.record()
+                if bus.active:
+                    _emit_trial_pair(
+                        bus, index, outcome, self.engine_name, per_trial_s, batched=True
+                    )
                 results.append((index, outcome))
                 if on_result is not None:
                     on_result(index, outcome)
 
         if self.workers == 1 or len(batches) == 1:
             for batch in batches:
-                collect(_execute_batch(trial_fn, batch))
+                started = time.perf_counter()
+                batch_results = _execute_batch(trial_fn, batch)
+                collect(batch_results, time.perf_counter() - started)
         else:
 
             def handle(result) -> None:
-                batch_results, error = result
+                batch_results, error, batch_wall_s = result
                 if error is not None:
                     index, message, worker_tb = error
                     raise TrialExecutionError(index, message, worker_tb)
-                collect(batch_results)
+                collect(batch_results, batch_wall_s)
 
             _run_on_pool(
                 self.start_method,

@@ -83,6 +83,8 @@ from repro.api.execution import ExecutionConfig
 from repro.io.atomic import _fsync_dir, atomic_write_text
 from repro.io.sanitize import canonical_json, json_ready
 from repro.store.fingerprint import code_fingerprint
+from repro.telemetry.bus import default_bus
+from repro.telemetry.events import StoreEvict, StoreHit, StoreMiss, StorePut
 
 __all__ = [
     "CACHE_POLICIES",
@@ -247,6 +249,13 @@ class ArtifactStore:
         # read fresh — compaction keeps their number small.
         self._snapshot_cache: Optional[Dict[str, Dict[str, Any]]] = None
         self._snapshot_stamp: Optional[Tuple[int, int, int]] = None
+        # Lifetime operation counters for *this* store instance.  Always
+        # maintained (they are plain integer bumps); the matching telemetry
+        # events are only emitted when a bus subscriber is attached.
+        self.hits = 0
+        self.misses = 0
+        self.puts = 0
+        self.evictions = 0
 
     # -- paths ----------------------------------------------------------- #
     @property
@@ -462,14 +471,25 @@ class ArtifactStore:
         as an ordinary miss.
         """
         path = self.object_path(digest)
+        bus = default_bus()
         try:
             payload = path.read_text()
         except OSError:
-            return None  # missing, or evicted between any check and the read
-        try:
-            return ExperimentArtifact.from_json_dict(json.loads(payload))
-        except (ValueError, KeyError, TypeError, json.JSONDecodeError):
+            self.misses += 1  # missing, or evicted between any check and the read
+            if bus.active:
+                bus.emit(StoreMiss(digest=digest))
             return None
+        try:
+            artifact = ExperimentArtifact.from_json_dict(json.loads(payload))
+        except (ValueError, KeyError, TypeError, json.JSONDecodeError):
+            self.misses += 1
+            if bus.active:
+                bus.emit(StoreMiss(digest=digest))
+            return None
+        self.hits += 1
+        if bus.active:
+            bus.emit(StoreHit(digest=digest))
+        return artifact
 
     def put(
         self, artifact: ExperimentArtifact, digest: Optional[str] = None
@@ -510,6 +530,10 @@ class ArtifactStore:
         # exists alongside objects; afterwards only threshold compactions
         # rewrite it.
         self._maybe_compact(force=not self.index_path.exists())
+        self.puts += 1
+        bus = default_bus()
+        if bus.active:
+            bus.emit(StorePut(digest=digest))
         return entry
 
     def entries(self) -> List[StoreEntry]:
@@ -552,6 +576,7 @@ class ArtifactStore:
             else:
                 doomed = list(entries)
             removed = 0
+            bus = default_bus()
             for d in doomed:
                 entries.pop(d, None)
                 try:
@@ -562,9 +587,21 @@ class ArtifactStore:
                 if path.is_file():
                     path.unlink()
                     removed += 1
+                    self.evictions += 1
+                    if bus.active:
+                        bus.emit(StoreEvict(digest=d))
             self._save_snapshot(entries)
             self._sweep_stale_tmp()
         return removed
+
+    def counters_dict(self) -> Dict[str, int]:
+        """This instance's lifetime operation counters, JSON-ready."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "evictions": self.evictions,
+        }
 
     def __len__(self) -> int:
         return len(self._load_index())

@@ -89,6 +89,9 @@ class SweepArtifact:
     points: List[SweepPoint] = field(default_factory=list)
     target_ci: Optional[float] = None
     wall_time_s: float = 0.0
+    #: Telemetry summary of the sweep run (``None`` for untraced runs;
+    #: omitted from the JSON form when absent).
+    telemetry: Optional[Dict[str, Any]] = None
 
     @property
     def experiment(self) -> str:
@@ -140,16 +143,17 @@ class SweepArtifact:
 
     # -- serialization ---------------------------------------------------- #
     def to_json_dict(self) -> Dict[str, Any]:
-        return json_ready(
-            {
-                "kind": _SWEEP_KIND,
-                "sweep": self.sweep.to_json_dict(),
-                "execution": self.execution.to_json_dict(),
-                "target_ci": self.target_ci,
-                "wall_time_s": self.wall_time_s,
-                "points": [point.to_json_dict() for point in self.points],
-            }
-        )
+        payload = {
+            "kind": _SWEEP_KIND,
+            "sweep": self.sweep.to_json_dict(),
+            "execution": self.execution.to_json_dict(),
+            "target_ci": self.target_ci,
+            "wall_time_s": self.wall_time_s,
+            "points": [point.to_json_dict() for point in self.points],
+        }
+        if self.telemetry is not None:
+            payload["telemetry"] = dict(self.telemetry)
+        return json_ready(payload)
 
     def to_json(self, path: Optional[Path] = None) -> str:
         """Serialize to JSON; optionally also write to ``path``."""
@@ -166,12 +170,14 @@ class SweepArtifact:
                 f"(expected {_SWEEP_KIND!r})"
             )
         target_ci = data.get("target_ci")
+        telemetry = data.get("telemetry")
         return cls(
             sweep=SweepSpec.from_json_dict(data["sweep"]),
             execution=ExecutionConfig.from_json_dict(data["execution"]),
             points=[SweepPoint.from_json_dict(point) for point in data["points"]],
             target_ci=None if target_ci is None else float(target_ci),
             wall_time_s=float(data.get("wall_time_s", 0.0)),
+            telemetry=None if telemetry is None else dict(telemetry),
         )
 
     @classmethod

@@ -69,6 +69,15 @@ from repro.sweep.artifact import SweepArtifact, SweepPoint
 from repro.sweep.checkpoint import SweepCheckpoint, sweep_digest
 from repro.sweep.runner import AdaptiveConfig, SweepProgressFn, SweepRunner
 from repro.sweep.spec import SweepSpec
+from repro.telemetry.bus import default_bus, reset_default_bus
+from repro.telemetry.events import (
+    HeartbeatMissed,
+    LeaseAcquired,
+    LeaseStolen,
+    SweepFinished,
+    SweepProgress,
+    SweepStarted,
+)
 
 __all__ = [
     "SWEEP_WORKERS_ENV_VAR",
@@ -96,14 +105,44 @@ def default_sweep_workers() -> int:
     return env_positive_int(SWEEP_WORKERS_ENV_VAR, 1, allow_auto=True)
 
 
+def _local_clock_id() -> str:
+    """Identity of this machine's monotonic clock domain.
+
+    ``time.monotonic()`` readings are comparable between processes only
+    within one OS boot; Linux exposes a per-boot UUID that names exactly
+    that domain.  Where no boot id exists the id is empty and staleness
+    falls back to (clamped) wall-clock deltas.
+    """
+    try:
+        return Path("/proc/sys/kernel/random/boot_id").read_text().strip()
+    except OSError:
+        return ""
+
+
+_CLOCK_ID = _local_clock_id()
+
+
 @dataclass(frozen=True)
 class PointLease:
-    """One worker's claim on one sweep point (the on-disk lease record)."""
+    """One worker's claim on one sweep point (the on-disk lease record).
+
+    The record carries *two* heartbeat stamps: ``heartbeat_at`` is wall
+    clock (``time.time()``), kept for humans inspecting the lease files and
+    for cross-machine queues; ``heartbeat_mono`` is ``time.monotonic()``,
+    tagged with the ``clock_id`` of the boot it was read in.  Staleness is
+    judged from the monotonic delta whenever the observer shares that clock
+    (same machine, same boot) — an NTP step can therefore never fake a dead
+    worker or keep a dead lease alive.  Observers on a different clock fall
+    back to the wall delta, clamped at zero so a lease stamped "in the
+    future" by a skewed peer reads as fresh rather than negative-aged.
+    """
 
     worker: str
     pid: int
     acquired_at: float
     heartbeat_at: float
+    heartbeat_mono: Optional[float] = None
+    clock_id: str = ""
 
     def to_json(self) -> str:
         return json.dumps(asdict(self))
@@ -111,15 +150,41 @@ class PointLease:
     @classmethod
     def from_json(cls, payload: str) -> "PointLease":
         data = json.loads(payload)
+        mono = data.get("heartbeat_mono")
         return cls(
             worker=str(data["worker"]),
             pid=int(data["pid"]),
             acquired_at=float(data["acquired_at"]),
             heartbeat_at=float(data["heartbeat_at"]),
+            heartbeat_mono=None if mono is None else float(mono),
+            clock_id=str(data.get("clock_id", "")),
         )
 
-    def expired(self, timeout_s: float, now: Optional[float] = None) -> bool:
-        return (time.time() if now is None else now) - self.heartbeat_at > timeout_s
+    def age_s(
+        self, now: Optional[float] = None, now_mono: Optional[float] = None
+    ) -> float:
+        """Seconds since the last heartbeat, never negative.
+
+        Monotonic delta when this lease was stamped under the caller's
+        clock domain, otherwise wall delta; both clamped at zero.
+        """
+        if (
+            self.heartbeat_mono is not None
+            and self.clock_id
+            and self.clock_id == _CLOCK_ID
+        ):
+            reference = time.monotonic() if now_mono is None else now_mono
+            return max(0.0, reference - self.heartbeat_mono)
+        reference = time.time() if now is None else now
+        return max(0.0, reference - self.heartbeat_at)
+
+    def expired(
+        self,
+        timeout_s: float,
+        now: Optional[float] = None,
+        now_mono: Optional[float] = None,
+    ) -> bool:
+        return self.age_s(now=now, now_mono=now_mono) > timeout_s
 
 
 class SweepWorkQueue:
@@ -168,7 +233,8 @@ class SweepWorkQueue:
         """Atomically create the lease file; exactly one caller can win."""
         now = time.time()
         lease = PointLease(worker=worker, pid=os.getpid(), acquired_at=now,
-                           heartbeat_at=now)
+                           heartbeat_at=now, heartbeat_mono=time.monotonic(),
+                           clock_id=_CLOCK_ID)
         try:
             fd = os.open(self.lease_path(index), os.O_CREAT | os.O_EXCL | os.O_WRONLY)
         except FileExistsError:
@@ -192,7 +258,8 @@ class SweepWorkQueue:
         current = self.read_lease(index)
         acquired_at = current.acquired_at if current is not None else time.time()
         lease = PointLease(worker=worker, pid=os.getpid(),
-                           acquired_at=acquired_at, heartbeat_at=time.time())
+                           acquired_at=acquired_at, heartbeat_at=time.time(),
+                           heartbeat_mono=time.monotonic(), clock_id=_CLOCK_ID)
         atomic_write_text(self.lease_path(index), lease.to_json(), durable=False)
 
     def release(self, index: int) -> None:
@@ -210,21 +277,43 @@ class SweepWorkQueue:
         exclusive re-create, so concurrent stealers still end with exactly
         one owner.
         """
+        bus = default_bus()
         for index in range(self.n_points):
             if self.is_done(index):
                 continue
             if self._try_acquire(index, worker):
+                if bus.active:
+                    bus.emit(LeaseAcquired(point=index, worker=worker))
                 return index
             lease = self.read_lease(index)
             if lease is None:
                 # Released (or broken) between our create attempt and the
                 # read — contend for it again.
                 if self._try_acquire(index, worker):
+                    if bus.active:
+                        bus.emit(LeaseAcquired(point=index, worker=worker))
                     return index
                 continue
             if lease.expired(self.lease_timeout_s):
+                if bus.active:
+                    bus.emit(
+                        HeartbeatMissed(
+                            point=index,
+                            worker=lease.worker,
+                            age_s=lease.age_s(),
+                            observed_by=worker,
+                        )
+                    )
                 self.release(index)  # break the dead worker's lease
                 if self._try_acquire(index, worker):
+                    if bus.active:
+                        bus.emit(
+                            LeaseStolen(
+                                point=index,
+                                worker=worker,
+                                previous_worker=lease.worker,
+                            )
+                        )
                     return index
         return None
 
@@ -302,6 +391,9 @@ class _WorkerConfig:
     n_points: int
     lease_timeout_s: float
     heartbeat_interval_s: float
+    #: Per-worker JSONL trace file; set by a tracing coordinator, whose bus
+    #: the events ultimately reach via the post-join timestamp merge.
+    trace: Optional[str] = None
 
 
 def _worker_main(config: _WorkerConfig) -> None:
@@ -312,38 +404,55 @@ def _worker_main(config: _WorkerConfig) -> None:
     coordinator's inline fallback, where the exception re-raises naturally)
     take over the remaining points.
     """
+    # A forked worker inherits the coordinator's bus and subscribers; drop
+    # them (writing into the coordinator's sink from here would interleave)
+    # and attach this worker's own trace file when the coordinator asked
+    # for one — it merges the per-worker files after the join.
+    bus = reset_default_bus()
+    sink = None
+    if config.trace is not None:
+        from repro.telemetry.sink import TraceSink
+
+        sink = TraceSink(config.trace)
+        bus.subscribe(sink)
+
     sweep = SweepSpec.from_json_dict(config.sweep)
     execution = ExecutionConfig.from_json_dict(config.execution)
     adaptive = None if config.adaptive is None else AdaptiveConfig(**config.adaptive)
     points = sweep.points()
     runner = SweepRunner(cache=config.cache, store=config.store_root)
     queue = SweepWorkQueue(config.work_dir, config.n_points, config.lease_timeout_s)
-    with open(queue.result_path(config.worker), "a") as results:
-        while not queue.all_done():
-            index = queue.claim(config.worker)
-            if index is None:
-                time.sleep(_POLL_INTERVAL_S)
-                continue
-            try:
-                with _LeaseHeartbeat(queue, index, config.worker,
-                                     config.heartbeat_interval_s):
-                    point = runner.run_point(
-                        sweep, index, points[index], execution, adaptive
-                    )
-            except BaseException as exc:
-                results.write(json.dumps({
-                    "index": index,
-                    "error": f"{type(exc).__name__}: {exc}",
-                    "worker": config.worker,
-                }) + "\n")
+    try:
+        with open(queue.result_path(config.worker), "a") as results:
+            while not queue.all_done():
+                index = queue.claim(config.worker)
+                if index is None:
+                    time.sleep(_POLL_INTERVAL_S)
+                    continue
+                try:
+                    with _LeaseHeartbeat(queue, index, config.worker,
+                                         config.heartbeat_interval_s):
+                        point = runner.run_point(
+                            sweep, index, points[index], execution, adaptive
+                        )
+                except BaseException as exc:
+                    results.write(json.dumps({
+                        "index": index,
+                        "error": f"{type(exc).__name__}: {exc}",
+                        "worker": config.worker,
+                    }) + "\n")
+                    results.flush()
+                    queue.release(index)
+                    raise SystemExit(1)
+                results.write(json.dumps(
+                    {"index": index, "point": point.to_json_dict()}
+                ) + "\n")
                 results.flush()
-                queue.release(index)
-                raise SystemExit(1)
-            results.write(json.dumps(
-                {"index": index, "point": point.to_json_dict()}
-            ) + "\n")
-            results.flush()
-            queue.mark_done(index, config.worker)
+                queue.mark_done(index, config.worker)
+    finally:
+        if sink is not None:
+            bus.unsubscribe(sink)
+            sink.close()
 
 
 class DistributedSweepRunner:
@@ -437,6 +546,17 @@ class DistributedSweepRunner:
                 checkpoint.reset(digest, sweep, execution.seed)
 
         start = time.perf_counter()
+        bus = default_bus()
+        traced = bus.active
+        if traced:
+            bus.emit(
+                SweepStarted(
+                    experiment=sweep.experiment,
+                    n_points=len(points),
+                    restored=len(restored),
+                    sweep_workers=self.sweep_workers,
+                )
+            )
         owns_work_dir = self.work_dir is None
         work_dir = (
             Path(tempfile.mkdtemp(prefix="repro-sweep-")) if owns_work_dir
@@ -454,6 +574,20 @@ class DistributedSweepRunner:
                 if index not in restored:
                     checkpoint.append(completed[index])
 
+        if traced:
+            bus.emit(
+                SweepFinished(
+                    experiment=sweep.experiment,
+                    n_points=len(points),
+                    cache_hits=sum(
+                        1 for point in completed.values() if point.cache_hit
+                    ),
+                    executed_trials=sum(
+                        point.executed_trials for point in completed.values()
+                    ),
+                    wall_time_s=time.perf_counter() - start,
+                )
+            )
         return SweepArtifact(
             sweep=sweep,
             execution=execution,
@@ -466,7 +600,8 @@ class DistributedSweepRunner:
     def _worker_config(self, worker: str, work_dir: Path, sweep: SweepSpec,
                        execution: ExecutionConfig,
                        adaptive: Optional[AdaptiveConfig],
-                       n_points: int) -> _WorkerConfig:
+                       n_points: int,
+                       trace: Optional[str] = None) -> _WorkerConfig:
         return _WorkerConfig(
             worker=worker,
             work_dir=str(work_dir),
@@ -478,6 +613,7 @@ class DistributedSweepRunner:
             n_points=n_points,
             lease_timeout_s=self.lease_timeout_s,
             heartbeat_interval_s=self.heartbeat_interval_s,
+            trace=trace,
         )
 
     def _run_queue(
@@ -494,12 +630,22 @@ class DistributedSweepRunner:
         for index in restored:
             queue.mark_done(index, "restored")
 
+        bus = default_bus()
+        traced = bus.active
+        traces_dir = work_dir / "traces"
+        if traced:
+            traces_dir.mkdir(parents=True, exist_ok=True)
+
+        def worker_trace(name: str) -> Optional[str]:
+            return str(traces_dir / f"{name}.jsonl") if traced else None
+
         ctx = multiprocessing.get_context(self.start_method)
         workers = [
             ctx.Process(
                 target=_worker_main,
                 args=(self._worker_config(f"worker-{k:03d}", work_dir, sweep,
-                                          execution, adaptive, len(points)),),
+                                          execution, adaptive, len(points),
+                                          trace=worker_trace(f"worker-{k:03d}")),),
                 daemon=False,
             )
             for k in range(min(self.sweep_workers, max(1, len(points) - len(restored))))
@@ -511,8 +657,17 @@ class DistributedSweepRunner:
         try:
             while True:
                 done = queue.done_count()
-                if done != reported and self.progress is not None:
-                    self.progress(min(done, len(points)), len(points))
+                if done != reported:
+                    if traced:
+                        bus.emit(
+                            SweepProgress(
+                                experiment=sweep.experiment,
+                                done=min(done, len(points)),
+                                total=len(points),
+                            )
+                        )
+                    if self.progress is not None:
+                        self.progress(min(done, len(points)), len(points))
                     reported = done
                 if done >= len(points):
                     break
@@ -541,6 +696,17 @@ class DistributedSweepRunner:
             sum(point.executed_trials for point in worker_points.values())
         )
 
+        if traced:
+            # Merge the per-worker trace files in event-timestamp order and
+            # replay them through the coordinator's bus, so its subscribers
+            # (sink, metrics, progress) see the whole distributed run as one
+            # stream.  Workers only trace when `traced`, so nothing here can
+            # double-count.
+            from repro.telemetry.sink import merge_traces
+
+            for event in merge_traces(sorted(traces_dir.glob("*.jsonl"))):
+                bus.emit(event)
+
         missing = [index for index in range(len(points)) if index not in completed]
         if missing:
             # Every worker died before finishing these points (e.g. a
@@ -553,6 +719,14 @@ class DistributedSweepRunner:
                 completed[index] = fallback.run_point(
                     sweep, index, points[index], execution, adaptive
                 )
+                if traced:
+                    bus.emit(
+                        SweepProgress(
+                            experiment=sweep.experiment,
+                            done=len(completed),
+                            total=len(points),
+                        )
+                    )
                 if self.progress is not None:
                     self.progress(len(completed), len(points))
         return completed

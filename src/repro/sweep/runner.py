@@ -47,6 +47,15 @@ from repro.metrics.statistics import next_adaptive_repetitions, wilson_half_widt
 from repro.sweep.artifact import SweepArtifact, SweepPoint
 from repro.sweep.checkpoint import SweepCheckpoint, sweep_digest
 from repro.sweep.spec import SweepSpec
+from repro.telemetry.bus import default_bus
+from repro.telemetry.events import (
+    SweepFinished,
+    SweepPointCacheHit,
+    SweepPointFinished,
+    SweepPointStarted,
+    SweepProgress,
+    SweepStarted,
+)
 
 __all__ = ["AdaptiveConfig", "SweepRunner", "derive_point_seed"]
 
@@ -200,8 +209,22 @@ class SweepRunner:
                 checkpoint.reset(digest, sweep, execution.seed)
 
         start = time.perf_counter()
+        bus = default_bus()
+        traced = bus.active
+        if traced:
+            bus.emit(
+                SweepStarted(
+                    experiment=sweep.experiment,
+                    n_points=len(points),
+                    restored=len(restored),
+                )
+            )
         completed: List[SweepPoint] = []
         done = len(restored)
+        if traced and done:
+            bus.emit(
+                SweepProgress(experiment=sweep.experiment, done=done, total=len(points))
+            )
         if self.progress is not None and done:
             self.progress(done, len(points))
         for index, params in enumerate(points):
@@ -213,9 +236,25 @@ class SweepRunner:
             if checkpoint is not None:
                 checkpoint.append(point)
             done += 1
+            if traced:
+                bus.emit(
+                    SweepProgress(
+                        experiment=sweep.experiment, done=done, total=len(points)
+                    )
+                )
             if self.progress is not None:
                 self.progress(done, len(points))
 
+        if traced:
+            bus.emit(
+                SweepFinished(
+                    experiment=sweep.experiment,
+                    n_points=len(points),
+                    cache_hits=sum(1 for point in completed if point.cache_hit),
+                    executed_trials=sum(point.executed_trials for point in completed),
+                    wall_time_s=time.perf_counter() - start,
+                )
+            )
         return SweepArtifact(
             sweep=sweep,
             execution=execution,
@@ -269,10 +308,19 @@ class SweepRunner:
         point_execution = self._point_execution(execution, index, seed)
         spec = sweep.spec
         executed_before = executed_trial_count()
+        bus = default_bus()
+        traced = bus.active
+        if traced:
+            bus.emit(
+                SweepPointStarted(
+                    experiment=sweep.experiment, point=index, params=dict(params)
+                )
+            )
+            point_start = time.perf_counter()
 
         if adaptive is None:
             artifact, digest, was_cached = self._run_cached(spec, params, point_execution)
-            return SweepPoint(
+            point = SweepPoint(
                 index=index,
                 params=params,
                 seed=seed,
@@ -281,21 +329,40 @@ class SweepRunner:
                 cache_hit=was_cached,
                 executed_trials=executed_trial_count() - executed_before,
             )
-
-        artifact, digest, was_cached, rounds, half_width = self._run_adaptive(
-            spec, params, point_execution, adaptive
-        )
-        return SweepPoint(
-            index=index,
-            params=params,
-            seed=seed,
-            artifact=artifact,
-            digest=digest,
-            cache_hit=was_cached,
-            executed_trials=executed_trial_count() - executed_before,
-            adaptive_rounds=rounds,
-            ci_half_width=half_width,
-        )
+        else:
+            artifact, digest, was_cached, rounds, half_width = self._run_adaptive(
+                spec, params, point_execution, adaptive
+            )
+            point = SweepPoint(
+                index=index,
+                params=params,
+                seed=seed,
+                artifact=artifact,
+                digest=digest,
+                cache_hit=was_cached,
+                executed_trials=executed_trial_count() - executed_before,
+                adaptive_rounds=rounds,
+                ci_half_width=half_width,
+            )
+        if traced:
+            if point.cache_hit:
+                bus.emit(
+                    SweepPointCacheHit(
+                        experiment=sweep.experiment, point=index, digest=point.digest
+                    )
+                )
+            bus.emit(
+                SweepPointFinished(
+                    experiment=sweep.experiment,
+                    point=index,
+                    executed_trials=point.executed_trials,
+                    cache_hit=point.cache_hit,
+                    adaptive_rounds=point.adaptive_rounds,
+                    ci_half_width=point.ci_half_width,
+                    wall_time_s=time.perf_counter() - point_start,
+                )
+            )
+        return point
 
     def _run_cached(self, spec, params: Dict[str, Any], execution: ExecutionConfig):
         """One cached experiment run: ``(artifact, digest, served_from_store)``.

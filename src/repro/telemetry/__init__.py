@@ -1,0 +1,108 @@
+"""Telemetry: typed events, the process-global bus, trace sinks, metrics.
+
+The observability layer for every engine in the platform.  Instrumented
+subsystems (runners, sweeps, the artifact store, the distributed queue)
+emit frozen-dataclass events into a process-global :class:`EventBus`;
+subscribers turn the stream into JSONL traces (:class:`TraceSink`),
+aggregate statistics (:class:`Metrics` / :class:`TelemetryReport`) or a
+terminal progress line (:class:`ProgressReporter`).
+
+Design invariants:
+
+* **Zero overhead when detached** — instrumentation guards event
+  construction behind ``bus.active``; with no subscribers a campaign pays
+  one attribute read per site (guarded by
+  ``benchmarks/bench_telemetry_overhead.py``).
+* **Observation only** — telemetry draws no RNG and feeds nothing back
+  into execution; traced runs are bit-identical to untraced runs.
+* **Mergeable traces** — events carry wall-clock timestamps, so the
+  per-worker trace files of a distributed sweep merge into one timeline
+  (:func:`merge_traces`).
+"""
+
+from repro.telemetry.bus import (
+    EventBus,
+    campaign_scope,
+    current_campaign,
+    default_bus,
+    reset_default_bus,
+    set_default_bus,
+)
+from repro.telemetry.events import (
+    EVENT_KINDS,
+    CampaignFinished,
+    CampaignProgress,
+    CampaignStarted,
+    HeartbeatMissed,
+    LeaseAcquired,
+    LeaseStolen,
+    StoreEvict,
+    StoreHit,
+    StoreMiss,
+    StorePut,
+    SweepFinished,
+    SweepPointCacheHit,
+    SweepPointFinished,
+    SweepPointStarted,
+    SweepProgress,
+    SweepStarted,
+    TelemetryEvent,
+    TrialFinished,
+    TrialStarted,
+    event_from_json_dict,
+)
+from repro.telemetry.metrics import Counters, Histogram, Metrics, TelemetryReport, Timer
+from repro.telemetry.progress import ProgressReporter
+from repro.telemetry.sink import (
+    TRACE_ENV_VAR,
+    TraceSink,
+    merge_traces,
+    read_trace,
+    trace_to,
+)
+
+__all__ = [
+    # bus
+    "EventBus",
+    "default_bus",
+    "set_default_bus",
+    "reset_default_bus",
+    "current_campaign",
+    "campaign_scope",
+    # events
+    "TelemetryEvent",
+    "EVENT_KINDS",
+    "event_from_json_dict",
+    "CampaignStarted",
+    "CampaignProgress",
+    "CampaignFinished",
+    "TrialStarted",
+    "TrialFinished",
+    "SweepStarted",
+    "SweepProgress",
+    "SweepFinished",
+    "SweepPointStarted",
+    "SweepPointCacheHit",
+    "SweepPointFinished",
+    "StoreHit",
+    "StoreMiss",
+    "StorePut",
+    "StoreEvict",
+    "LeaseAcquired",
+    "LeaseStolen",
+    "HeartbeatMissed",
+    # sink
+    "TRACE_ENV_VAR",
+    "TraceSink",
+    "trace_to",
+    "read_trace",
+    "merge_traces",
+    # metrics
+    "Counters",
+    "Timer",
+    "Histogram",
+    "Metrics",
+    "TelemetryReport",
+    # progress
+    "ProgressReporter",
+]
