@@ -1,0 +1,192 @@
+"""Guardrails for the :mod:`repro.kernels` backend layer.
+
+Three promises are kept honest here:
+
+* **Micro** (numba hosts only): the fused numba injection+forward kernels
+  must be at least :data:`MICRO_REQUIRED_SPEEDUP` faster than the numpy
+  reference on the Fig. 5 NN at B=8 — and bit-identical to it.
+* **End to end**: the batched Fig. 5 / Fig. 7 campaigns under the active
+  backend must beat a serial numpy-reference campaign by
+  :data:`E2E_REQUIRED_SPEEDUP_NUMBA` when numba is installed (10x — the
+  point of shipping a JIT backend), and must never be *slower* than serial
+  anywhere (numpy-only hosts keep the 1x floor).
+
+Every test writes a ``BENCH_kernels_*.json`` snapshot (including the active
+backend and numba version in the ``host`` block) so the perf trajectory of
+both backends is tracked across commits.  Runs as plain pytest::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_kernels.py -q
+"""
+
+import dataclasses
+import time
+
+import numpy as np
+import pytest
+
+from bench_snapshot_lib import write_snapshot
+from repro import kernels
+from repro.core import BatchedEvaluator, BatchedRunner, Campaign, SerialRunner
+from repro.core.fault_models import TransientBitFlip
+from repro.experiments.common import build_drone_bundle, train_grid_nn
+from repro.experiments.config import DroneConfig, GridNNConfig
+from repro.experiments.fig5_inference import _NNInferenceTrial
+from repro.experiments.fig7_drone import _DroneMSFTrial
+
+#: Batch size every guardrail here is pinned at.
+BATCH_SIZE = 8
+
+#: Campaign repetitions for the end-to-end comparisons.
+REPETITIONS = 48
+
+#: Required micro advantage of the fused numba kernels over numpy at B=8.
+MICRO_REQUIRED_SPEEDUP = 2.0
+
+#: Required end-to-end advantage of batched+numba over serial numpy.
+E2E_REQUIRED_SPEEDUP_NUMBA = 10.0
+
+
+def _best_of(fn, rounds=3):
+    """Best-of-N wall-clock time (min is the standard low-noise estimator)."""
+    best, result = float("inf"), None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _metrics(result):
+    return [o.metric for o in result.outcomes]
+
+
+# --------------------------------------------------------------------------- #
+# Micro: fused injection + forward on the Fig. 5 NN
+# --------------------------------------------------------------------------- #
+@pytest.mark.skipif(not kernels.numba_available(), reason="numba is not installed")
+def test_micro_fused_injection_forward_numba_at_least_2x():
+    config = GridNNConfig.fast()
+    from repro.policies import build_grid_q_network
+
+    net = build_grid_q_network(
+        100, 4, hidden_sizes=config.hidden_sizes, rng=np.random.default_rng(0)
+    )
+    model = TransientBitFlip(0.01)
+    x = np.stack([np.eye(100)[r][None] for r in range(BATCH_SIZE)])
+    inner_rounds = 50
+
+    def campaign_kernel():
+        evaluator = BatchedEvaluator(net, config.weight_qformat, BATCH_SIZE)
+        out = None
+        for round_index in range(inner_rounds):
+            evaluator.restore_clean_weights()
+            evaluator.inject_weight_faults(
+                model,
+                [
+                    np.random.default_rng(1000 * round_index + r)
+                    for r in range(BATCH_SIZE)
+                ],
+            )
+            out = evaluator.forward(x)
+        return out
+
+    with kernels.use_backend("numpy"):
+        campaign_kernel()  # warm numpy caches
+        numpy_time, numpy_out = _best_of(campaign_kernel)
+    with kernels.use_backend("numba"):
+        campaign_kernel()  # JIT compile outside the timed region
+        numba_time, numba_out = _best_of(campaign_kernel)
+
+    assert np.array_equal(numpy_out, numba_out), (
+        "numba fused injection+forward diverged from the numpy reference — "
+        "backends must be bit-identical"
+    )
+    speedup = numpy_time / numba_time
+    print(
+        f"\nkernels micro (fig5 NN, B={BATCH_SIZE}, {inner_rounds} "
+        f"inject+forward rounds): numpy {numpy_time:.3f}s, "
+        f"numba {numba_time:.3f}s -> {speedup:.2f}x"
+    )
+    write_snapshot(
+        "kernels_micro",
+        {
+            "batch_size": BATCH_SIZE,
+            "inner_rounds": inner_rounds,
+            "numpy_s": numpy_time,
+            "numba_s": numba_time,
+            "speedup": speedup,
+        },
+    )
+    assert speedup >= MICRO_REQUIRED_SPEEDUP, (
+        f"fused numba injection+forward is only {speedup:.2f}x the numpy "
+        f"reference at B={BATCH_SIZE} (required: {MICRO_REQUIRED_SPEEDUP}x)"
+    )
+
+
+# --------------------------------------------------------------------------- #
+# End to end: batched campaigns vs. serial numpy reference
+# --------------------------------------------------------------------------- #
+def _e2e_guardrail(name, trial, snapshot_extra):
+    campaign = Campaign(f"kernels-e2e-{name}", repetitions=REPETITIONS, seed=3)
+    batched_runner = BatchedRunner(batch_size=BATCH_SIZE)
+
+    with kernels.use_backend("numpy"):
+        campaign.run(trial, runner=SerialRunner())  # warm caches
+        serial_time, serial_result = _best_of(
+            lambda: campaign.run(trial, runner=SerialRunner())
+        )
+    backend = kernels.resolve_backend_name("auto")
+    with kernels.use_backend(backend):
+        campaign.run(trial, runner=batched_runner)  # warm caches / JIT
+        batched_time, batched_result = _best_of(
+            lambda: campaign.run(trial, runner=batched_runner)
+        )
+
+    assert _metrics(batched_result) == _metrics(serial_result), (
+        f"{name}: batched {backend} campaign diverged from the serial numpy "
+        "reference — engines and backends must be bit-identical"
+    )
+    speedup = serial_time / batched_time
+    required = (
+        E2E_REQUIRED_SPEEDUP_NUMBA if kernels.numba_available() else 1.0
+    )
+    print(
+        f"\nkernels e2e {name} ({REPETITIONS} trials): serial numpy "
+        f"{serial_time:.3f}s, batched(B={BATCH_SIZE}) {backend} "
+        f"{batched_time:.3f}s -> {speedup:.2f}x (required: {required:g}x)"
+    )
+    write_snapshot(
+        f"kernels_{name}_e2e",
+        dict(
+            snapshot_extra,
+            repetitions=REPETITIONS,
+            batch_size=BATCH_SIZE,
+            backend=backend,
+            serial_numpy_s=serial_time,
+            batched_s=batched_time,
+            speedup_vs_serial=speedup,
+            required_speedup=required,
+        ),
+    )
+    assert speedup >= required, (
+        f"batched {backend} {name} campaign is only {speedup:.2f}x the serial "
+        f"numpy reference at B={BATCH_SIZE} (required: {required:g}x)"
+    )
+
+
+def test_e2e_fig5_campaign_speedup():
+    config = GridNNConfig.fast()
+    agent, env, _ = train_grid_nn(config, np.random.default_rng(0))
+    trial = _NNInferenceTrial(
+        agent, env, "transient-m", 0.01, config.max_steps, config.weight_qformat, 5
+    )
+    _e2e_guardrail("fig5", trial, {"mode": "transient-m", "ber": 0.01})
+
+
+def test_e2e_fig7_campaign_speedup():
+    config = dataclasses.replace(
+        DroneConfig.fast(), image_size=20, eval_trials=1, max_eval_steps=80
+    )
+    bundle = build_drone_bundle(config, seed=0)
+    trial = _DroneMSFTrial(bundle, "indoor-long", weight_fault=TransientBitFlip(1e-3))
+    _e2e_guardrail("fig7", trial, {"image_size": 20, "ber": 1e-3})

@@ -15,6 +15,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.quant.bitops import OP_CLEAR, OP_FLIP, OP_SET
 from repro.quant.qtensor import QTensor
 
 __all__ = ["FaultPattern", "BufferSelector", "apply_patterns_stacked"]
@@ -95,13 +96,13 @@ def apply_patterns_stacked(
     buffer, exactly as it would address the scalar buffer.  ``None``
     entries (and empty patterns) leave their replica untouched.
 
-    All B patterns are applied through one vectorized bit operation per
-    fault kind — the per-replica element indices are offset into the
-    stacked flat view and handed to a single
-    :func:`~repro.quant.bitops.flip_bits` / ``apply_stuck_at`` call.
-    Because the bit operations touch each addressed (element, bit) site
-    independently, the result is bit-identical to applying each pattern to
-    its replica's slice on its own.
+    All B patterns — transient and stuck-at alike — are fused into one
+    site list with per-site op codes and applied through a single
+    :meth:`~repro.quant.qtensor.QTensor.inject_bit_ops` pass (one buffer
+    copy + one scatter, instead of one per fault kind).  Each replica's
+    sites land in its own disjoint flat range, so the result is
+    bit-identical to applying every pattern to its replica's slice on its
+    own.
     """
     if tensor.shape == () or tensor.shape[0] != len(patterns):
         raise ValueError(
@@ -112,7 +113,10 @@ def apply_patterns_stacked(
     n_replicas = len(patterns)
     unit_size = tensor.size // n_replicas
 
-    grouped: Dict[Optional[int], List[np.ndarray]] = {}
+    op_for_stuck = {None: OP_FLIP, 1: OP_SET, 0: OP_CLEAR}
+    all_elements: List[np.ndarray] = []
+    all_bits: List[np.ndarray] = []
+    all_ops: List[np.ndarray] = []
     for replica, pattern in enumerate(patterns):
         if pattern is None or pattern.num_faults == 0:
             continue
@@ -122,17 +126,18 @@ def apply_patterns_stacked(
                 f"{int(pattern.element_indices.max())} but each replica of "
                 f"{tensor.name!r} has only {unit_size} elements"
             )
-        sites = grouped.setdefault(pattern.stuck_value, [])
-        sites.append(pattern.element_indices + replica * unit_size)
-        sites.append(pattern.bit_positions)
+        all_elements.append(pattern.element_indices + replica * unit_size)
+        all_bits.append(pattern.bit_positions)
+        all_ops.append(
+            np.full(pattern.num_faults, op_for_stuck[pattern.stuck_value], dtype=np.int64)
+        )
 
-    for stuck_value, sites in grouped.items():
-        elements = np.concatenate(sites[0::2])
-        bits = np.concatenate(sites[1::2])
-        if stuck_value is None:
-            tensor.inject_bit_flips(elements, bits)
-        else:
-            tensor.inject_stuck_at(elements, bits, stuck_value)
+    if all_elements:
+        tensor.inject_bit_ops(
+            np.concatenate(all_elements),
+            np.concatenate(all_bits),
+            np.concatenate(all_ops),
+        )
 
 
 @dataclass

@@ -1,0 +1,287 @@
+"""repro.kernels — pluggable compiled backends for the hot numeric ops.
+
+The fault-injection + quantized-forward inner loop every figure shares
+(bit scatter into stacked int64 words, ``decode -> matmul/bias ->
+activation -> quantize`` per layer) dispatches through this package.  Two
+backends exist:
+
+* ``numpy`` — the reference implementation, byte-for-byte the expressions
+  the code paths used before this layer existed;
+* ``numba`` — JIT-compiled fused kernels (optional extra), proven
+  bit-identical to the reference by the differential suite
+  (``tests/test_kernels.py``).
+
+Selection
+---------
+The active backend is resolved from, in order: an explicit
+:func:`set_backend` / :func:`use_backend` call (``api.run`` applies
+``ExecutionConfig.kernel_backend`` this way), else the
+``REPRO_KERNEL_BACKEND`` environment variable, else ``"auto"`` — numba when
+importable, numpy otherwise.  Requesting ``"numba"`` where it cannot be
+imported warns (``RuntimeWarning``) and falls back to numpy, so numpy-only
+environments run every code path unchanged.
+
+Because backends are bit-identical, the choice is an *engine* knob: it never
+changes an experiment's numbers and is excluded from artifact cache keys
+(like ``workers`` / ``batch_size``).
+
+Dispatch
+--------
+Callers use module-attribute access (``kernels.quantize(...)``) — never
+``from repro.kernels import quantize`` — so backend switches rebind what
+they call.  Every dispatched call increments a per-op counter
+(:func:`counters_snapshot`), which ``api.run`` turns into a ``kernel.ops``
+telemetry event.  Ops take primitive scalars (``inv_scale``, ``min_raw``,
+...) rather than ``QFormat`` objects to keep this package import-free of
+the layers that depend on it.
+
+:func:`warm_up` runs every op once on tiny inputs (memoized per backend)
+so numba's lazy compilation happens before timed campaign loops; compiled
+artifacts persist across processes via ``@njit(cache=True)``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import importlib
+import importlib.util
+import os
+import threading
+import warnings
+from typing import Dict, Iterator, Optional
+
+import numpy as np
+
+from repro.kernels.common import OP_CLEAR, OP_FLIP, OP_SET, OP_NAMES
+
+__all__ = [
+    "KERNEL_BACKEND_ENV_VAR",
+    "BACKEND_NAMES",
+    "OP_NAMES",
+    "OP_FLIP",
+    "OP_SET",
+    "OP_CLEAR",
+    "validate_backend_name",
+    "numba_available",
+    "default_backend_name",
+    "resolve_backend_name",
+    "set_backend",
+    "ensure_backend",
+    "active_backend_name",
+    "use_backend",
+    "reset_backend",
+    "counters_snapshot",
+    "reset_counters",
+    "warm_up",
+] + list(OP_NAMES)
+
+#: Environment variable selecting the default backend.
+KERNEL_BACKEND_ENV_VAR = "REPRO_KERNEL_BACKEND"
+
+#: Accepted backend names (``"auto"`` resolves to a concrete backend).
+BACKEND_NAMES = ("auto", "numpy", "numba")
+
+_lock = threading.RLock()
+_active: Optional[str] = None
+_counters: Dict[str, int] = {}
+_warmed = set()
+_warned_numba_fallback = False
+
+
+def validate_backend_name(name) -> str:
+    """Normalize a backend name, raising ``ValueError`` for unknown ones."""
+    text = str(name).strip().lower()
+    if text not in BACKEND_NAMES:
+        raise ValueError(
+            f"unknown kernel backend {name!r}; expected one of {', '.join(BACKEND_NAMES)}"
+        )
+    return text
+
+
+def numba_available() -> bool:
+    """Whether the numba package is importable (without importing it)."""
+    try:
+        return importlib.util.find_spec("numba") is not None
+    except (ImportError, ValueError):  # pragma: no cover - exotic environments
+        return False
+
+
+def default_backend_name() -> str:
+    """The backend name requested by the environment (``"auto"`` if unset)."""
+    raw = os.environ.get(KERNEL_BACKEND_ENV_VAR)
+    if raw is None or not raw.strip():
+        return "auto"
+    return validate_backend_name(raw)
+
+
+def resolve_backend_name(name: Optional[str] = None) -> str:
+    """Resolve a requested name (or the environment default) to a concrete backend."""
+    resolved = default_backend_name() if name is None else validate_backend_name(name)
+    if resolved == "auto":
+        return "numba" if numba_available() else "numpy"
+    return resolved
+
+
+def _counting(op: str, fn):
+    counters = _counters
+
+    def dispatch(*args):
+        counters[op] = counters.get(op, 0) + 1
+        return fn(*args)
+
+    dispatch.__name__ = op
+    dispatch.__qualname__ = f"kernels.{op}"
+    return dispatch
+
+
+def _warn_numba_fallback(exc: BaseException) -> None:
+    global _warned_numba_fallback
+    if _warned_numba_fallback:
+        return
+    _warned_numba_fallback = True
+    warnings.warn(
+        f"kernel backend 'numba' requested but numba could not be imported "
+        f"({exc!r}); falling back to the numpy reference backend",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+
+
+def _activate(name: str) -> str:
+    """Bind the named backend's ops into this module (caller holds the lock)."""
+    global _active
+    if name == "numba":
+        try:
+            module = importlib.import_module("repro.kernels.numba_backend")
+        except Exception as exc:
+            _warn_numba_fallback(exc)
+            name = "numpy"
+            module = importlib.import_module("repro.kernels.numpy_backend")
+    else:
+        module = importlib.import_module("repro.kernels.numpy_backend")
+    namespace = globals()
+    for op in OP_NAMES:
+        namespace[op] = _counting(op, getattr(module, op))
+    _active = name
+    return name
+
+
+def set_backend(name: Optional[str] = None) -> str:
+    """Activate a backend (``None`` = environment default); returns its name."""
+    with _lock:
+        return _activate(resolve_backend_name(name))
+
+
+def ensure_backend() -> str:
+    """Activate the default backend if none is active yet; returns the name."""
+    if _active is None:
+        with _lock:
+            if _active is None:
+                _activate(resolve_backend_name(None))
+    return _active
+
+
+def active_backend_name() -> str:
+    """Name of the backend in effect (resolving the default if needed)."""
+    return ensure_backend()
+
+
+@contextlib.contextmanager
+def use_backend(name: Optional[str] = None) -> Iterator[str]:
+    """Scoped backend selection: activate on entry, restore on exit.
+
+    ``None`` activates the environment default.  On exit the previously
+    active backend is re-activated (or the default re-resolved if nothing
+    had been activated yet).
+    """
+    with _lock:
+        previous = _active
+        active = _activate(resolve_backend_name(name))
+    try:
+        yield active
+    finally:
+        with _lock:
+            _activate(resolve_backend_name(previous))
+
+
+def reset_backend() -> None:
+    """Forget the active backend so the next op call re-resolves the default.
+
+    Test hook: backend selection is process-global, so suites that
+    monkeypatch ``REPRO_KERNEL_BACKEND`` reset around it.
+    """
+    global _active
+    with _lock:
+        _active = None
+        namespace = globals()
+        for op in OP_NAMES:
+            namespace[op] = _bootstrap(op)
+
+
+def counters_snapshot() -> Dict[str, int]:
+    """Per-op dispatch counts since the last :func:`reset_counters`."""
+    return dict(_counters)
+
+
+def reset_counters() -> None:
+    """Zero the per-op dispatch counters."""
+    _counters.clear()
+
+
+def warm_up() -> str:
+    """Run every op once on tiny inputs so JIT compilation happens up front.
+
+    Memoized per backend per process; the numpy backend's warm-up is a few
+    microseconds, the numba backend's first-ever warm-up compiles (or loads
+    the on-disk ``@njit(cache=True)`` artifacts of) every kernel.  Returns
+    the active backend name.  Warm-up calls go straight to the backend
+    module, so they never pollute the dispatch counters.
+    """
+    backend = ensure_backend()
+    with _lock:
+        if backend in _warmed:
+            return backend
+        _warmed.add(backend)
+    _exercise_ops(backend)
+    return backend
+
+
+def _exercise_ops(backend: str) -> None:
+    module = importlib.import_module(f"repro.kernels.{backend}_backend")
+    values = np.array([0.25, -1.5, 3.75], dtype=np.float64)
+    inv_scale, scale = 16.0, 0.0625
+    min_raw, max_raw = np.int64(-128), np.int64(127)
+    word_mask, sign_bit, modulus = np.int64(255), np.int64(128), np.int64(256)
+    module.quantize(values, inv_scale, scale, min_raw, max_raw)
+    raw = module.encode(values, inv_scale, min_raw, max_raw, word_mask)
+    module.decode(raw, word_mask, sign_bit, modulus, scale)
+    flat = raw.reshape(-1).copy()
+    elements = np.array([0, 1], dtype=np.int64)
+    bits = np.array([0, 7], dtype=np.int64)
+    module.scatter_bits(flat, elements, bits, OP_FLIP)
+    module.inject_sites(flat, elements, bits, np.array([OP_SET, OP_CLEAR], dtype=np.int64))
+    x = np.full((2, 1, 3), 0.25)
+    w = np.full((2, 3, 2), 0.5)
+    b = np.zeros((2, 2))
+    module.matmul_bias_quantize(x, w, b, inv_scale, scale, min_raw, max_raw)
+    y = np.full((2, 1, 2), 0.375)
+    module.bias_quantize(y, np.zeros(2), inv_scale, scale, min_raw, max_raw)
+    module.bias_quantize_stacked(y, b, inv_scale, scale, min_raw, max_raw)
+    module.relu_quantize(values, inv_scale, scale, min_raw, max_raw)
+
+
+def _bootstrap(op: str):
+    """Initial binding for an op: resolve the default backend, then re-dispatch."""
+
+    def boot(*args):
+        ensure_backend()
+        return globals()[op](*args)
+
+    boot.__name__ = op
+    boot.__qualname__ = f"kernels.{op}"
+    return boot
+
+
+for _op in OP_NAMES:
+    globals()[_op] = _bootstrap(_op)
+del _op

@@ -1,0 +1,31 @@
+"""Shared constants of the kernel backend layer.
+
+Kept dependency-free (numpy only) so both backend modules and the dispatch
+package can import it without cycles.
+"""
+
+from __future__ import annotations
+
+__all__ = ["OP_FLIP", "OP_SET", "OP_CLEAR", "OP_NAMES"]
+
+#: Bit-operation codes used by the fused injection kernels.  One code per
+#: fault mechanism: transient flip (XOR), stuck-at-1 (OR), stuck-at-0
+#: (AND-NOT).  Stable small integers so op-code arrays are plain int64.
+OP_FLIP = 0
+OP_SET = 1
+OP_CLEAR = 2
+
+#: Every dispatchable kernel op.  Each backend module must define a function
+#: of this name; the package rebinds its module-level attributes to the
+#: active backend's implementations.
+OP_NAMES = (
+    "quantize",
+    "encode",
+    "decode",
+    "scatter_bits",
+    "inject_sites",
+    "matmul_bias_quantize",
+    "bias_quantize",
+    "bias_quantize_stacked",
+    "relu_quantize",
+)

@@ -459,12 +459,12 @@ class BatchedQuantizedExecutor:
                     hook(activation, layer)
                 return activation.values
 
-        else:
+            return self.network.forward_replicas(x_q, param_stacks, hooks=[quantize])
 
-            def quantize(index: int, layer, out: np.ndarray) -> np.ndarray:
-                return self.qformat.quantize(out)
-
-        return self.network.forward_replicas(x_q, param_stacks, hooks=[quantize])
+        # No activation hooks (the common fault-free-activations hot path):
+        # run the fused per-layer forward+quantize kernels — bit-identical to
+        # the hook formulation above with a plain qformat.quantize hook.
+        return self.network.forward_replicas_quantized(x_q, param_stacks, self.qformat)
 
     def __call__(self, x: np.ndarray, replicas: Optional[np.ndarray] = None) -> np.ndarray:
         return self.forward(x, replicas=replicas)

@@ -65,6 +65,21 @@ class Layer:
             f"{self.__class__.__name__} does not support replica-batched execution"
         )
 
+    def forward_replicas_quantized(
+        self, x: np.ndarray, params: Optional[Dict[str, np.ndarray]], qformat
+    ) -> np.ndarray:
+        """:meth:`forward_replicas` fused with post-layer quantization.
+
+        The batched executor quantizes every layer's output into ``qformat``
+        (the accelerator writes each result through its output buffer); this
+        entry point lets layers fuse that quantization into their forward
+        kernel via :mod:`repro.kernels`.  The default composes the two
+        steps, which is exactly what the executor's per-layer quantize hook
+        used to do, so overriding is purely an optimization — results must
+        stay bit-identical.
+        """
+        return qformat.quantize(self.forward_replicas(x, params=params))
+
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         raise NotImplementedError
 
@@ -138,6 +153,23 @@ class Dense(Layer):
         # its own (in, out) stack entry — the identical GEMM the scalar path
         # issues, just looped in C instead of Python.
         return np.matmul(x, weight) + bias[:, None, :]
+
+    def forward_replicas_quantized(
+        self, x: np.ndarray, params: Optional[Dict[str, np.ndarray]], qformat
+    ) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if params is None:
+            # Shared float weights (pre-fault-activation): the matmul operands
+            # are not quantized values, so only the bias+quantize tail fuses —
+            # the GEMM itself must stay np.matmul for bit-identity.
+            return qformat.bias_quantize(np.matmul(x, self.weight), self.bias)
+        weight, bias = params["weight"], params["bias"]
+        if qformat.supports_exact_matmul(self.in_features):
+            # Decoded quantized stacks: every partial sum is exact in float64
+            # (see QFormat.supports_exact_matmul), so the fully fused
+            # matmul+bias+quantize kernel is bit-identical to BLAS.
+            return qformat.matmul_bias_quantize(x, weight, bias)
+        return qformat.bias_quantize_stacked(np.matmul(x, weight), bias)
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         if self._last_input is None:
@@ -411,6 +443,11 @@ class ReLU(Layer):
         self, x: np.ndarray, params: Optional[Dict[str, np.ndarray]] = None
     ) -> np.ndarray:
         return np.maximum(np.asarray(x, dtype=np.float64), 0.0)
+
+    def forward_replicas_quantized(
+        self, x: np.ndarray, params: Optional[Dict[str, np.ndarray]], qformat
+    ) -> np.ndarray:
+        return qformat.relu_quantize(np.asarray(x, dtype=np.float64))
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         if self._mask is None:

@@ -93,6 +93,27 @@ class Sequential:
                 out = hook(index, layer, out)
         return out
 
+    def forward_replicas_quantized(
+        self,
+        x: np.ndarray,
+        param_stacks: Optional[Dict[str, Dict[str, np.ndarray]]],
+        qformat,
+    ) -> np.ndarray:
+        """:meth:`forward_replicas` with every layer output quantized.
+
+        ``x`` must already be quantized into ``qformat``.  Each layer runs
+        through :meth:`~repro.nn.layers.Layer.forward_replicas_quantized`,
+        which fuses the per-layer quantization into the layer's kernel where
+        possible — bit-identical to :meth:`forward_replicas` with a
+        ``qformat.quantize`` hook after every layer, which is what the
+        batched executor's hot path used to do.
+        """
+        out = np.asarray(x, dtype=np.float64)
+        for layer in self.layers:
+            params = param_stacks.get(layer.name) if param_stacks else None
+            out = layer.forward_replicas_quantized(out, params, qformat)
+        return out
+
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         """Backpropagate through all layers (after a training forward pass)."""
         grad = grad_out

@@ -15,6 +15,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import kernels
+
 __all__ = ["QFormat", "Q8_GRID", "Q16_NARROW", "Q16_MID", "Q16_WIDE"]
 
 
@@ -146,11 +148,16 @@ class QFormat:
         ones, which go through the same int64 conversion): after clipping,
         the raw words already equal their decoded signed value, so the
         two's-complement mask/unmask round trip is skipped.
+
+        Dispatches through :mod:`repro.kernels` (as do :meth:`encode` /
+        :meth:`decode` and the fused helpers below), so the active kernel
+        backend executes it; every backend is bit-identical to the numpy
+        reference.
         """
         values = np.asarray(values, dtype=np.float64)
-        raw = np.rint(values * self._inv_scale).astype(np.int64)
-        raw = np.minimum(np.maximum(raw, self._min_raw_i64), self._max_raw_i64)
-        return raw.astype(np.float64) * self._scale
+        return kernels.quantize(
+            values, self._inv_scale, self._scale, self._min_raw_i64, self._max_raw_i64
+        )
 
     def encode(self, values: np.ndarray) -> np.ndarray:
         """Encode real values into raw unsigned integer words (two's complement).
@@ -159,18 +166,94 @@ class QFormat:
         pattern in its low ``total_bits`` bits.
         """
         values = np.asarray(values, dtype=np.float64)
-        raw = np.rint(values * self._inv_scale).astype(np.int64)
-        raw = np.minimum(np.maximum(raw, self._min_raw_i64), self._max_raw_i64)
-        return raw & self._word_mask_i64
+        return kernels.encode(
+            values,
+            self._inv_scale,
+            self._min_raw_i64,
+            self._max_raw_i64,
+            self._word_mask_i64,
+        )
 
     def decode(self, raw: np.ndarray) -> np.ndarray:
         """Decode raw unsigned words (two's complement) back to real values."""
-        raw = np.asarray(raw, dtype=np.int64) & self._word_mask_i64
-        if self.signed:
-            signed = np.where(raw & self._sign_bit_i64, raw - self._modulus_i64, raw)
-        else:
-            signed = raw
-        return signed.astype(np.float64) * self._scale
+        raw = np.asarray(raw, dtype=np.int64)
+        return kernels.decode(
+            raw,
+            self._word_mask_i64,
+            self._sign_bit_i64,
+            self._modulus_i64,
+            self._scale,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Fused forward-path helpers (kernel-dispatched)
+    # ------------------------------------------------------------------ #
+    def bias_quantize(self, y: np.ndarray, bias: np.ndarray) -> np.ndarray:
+        """``quantize(y + bias)`` with a shared trailing-axis bias, fused."""
+        return kernels.bias_quantize(
+            np.asarray(y, dtype=np.float64),
+            np.asarray(bias, dtype=np.float64),
+            self._inv_scale,
+            self._scale,
+            self._min_raw_i64,
+            self._max_raw_i64,
+        )
+
+    def bias_quantize_stacked(self, y: np.ndarray, bias: np.ndarray) -> np.ndarray:
+        """``quantize(y + bias[:, None, :])`` for a per-replica bias stack, fused."""
+        return kernels.bias_quantize_stacked(
+            np.asarray(y, dtype=np.float64),
+            np.asarray(bias, dtype=np.float64),
+            self._inv_scale,
+            self._scale,
+            self._min_raw_i64,
+            self._max_raw_i64,
+        )
+
+    def matmul_bias_quantize(
+        self, x: np.ndarray, w: np.ndarray, b: np.ndarray
+    ) -> np.ndarray:
+        """Per-replica ``quantize(x @ w + b)``, fully fused.
+
+        Only bit-identical across backends when the operands are values of
+        this format and :meth:`supports_exact_matmul` holds for the
+        contraction length — callers must check it and fall back to
+        ``np.matmul`` + :meth:`bias_quantize_stacked` otherwise.
+        """
+        return kernels.matmul_bias_quantize(
+            np.asarray(x, dtype=np.float64),
+            np.asarray(w, dtype=np.float64),
+            np.asarray(b, dtype=np.float64),
+            self._inv_scale,
+            self._scale,
+            self._min_raw_i64,
+            self._max_raw_i64,
+        )
+
+    def relu_quantize(self, values: np.ndarray) -> np.ndarray:
+        """``quantize(relu(values))``, fused (NaN propagates like ``np.maximum``)."""
+        return kernels.relu_quantize(
+            np.asarray(values, dtype=np.float64),
+            self._inv_scale,
+            self._scale,
+            self._min_raw_i64,
+            self._max_raw_i64,
+        )
+
+    def supports_exact_matmul(self, in_features: int) -> bool:
+        """Whether a length-``in_features`` dot of values of this format is exact.
+
+        Quantized values are integer multiples of ``u = 2**-fraction_bits``
+        inside ``[min_value, max_value]``; products are multiples of ``u**2``
+        and every partial sum of ``in_features`` products plus a bias is
+        bounded by ``in_features * maxv**2 + maxv``.  When that bound (in
+        units of ``u**2``) stays within float64's exact-integer window, every
+        summation order — BLAS, FMA, or a plain loop — produces bit-identical
+        results, which is what licenses the fused matmul kernel.  The
+        ``2**52`` margin is half the true ``2**53`` window.
+        """
+        maxv = max(abs(self.min_value), abs(self.max_value))
+        return in_features * maxv * maxv + maxv <= 2.0 ** (52 - 2 * self.fraction_bits)
 
     def representable(self, values: np.ndarray, rtol: float = 0.0) -> np.ndarray:
         """Boolean mask of values that fall inside the representable range."""

@@ -6,6 +6,11 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.quant.bitops import (
+    OP_CLEAR,
+    OP_FLIP,
+    OP_SET,
+    _CHOICE_POPULATION_LIMIT,
+    apply_bit_ops,
     apply_stuck_at,
     clear_bits,
     flip_bits,
@@ -45,6 +50,16 @@ class TestFlipBits:
         with pytest.raises(ValueError):
             flip_bits(raw, np.array([0, 1]), np.array([1]), total_bits=8)
 
+    def test_out_of_range_element_rejected(self):
+        raw = np.zeros(4, dtype=np.int64)
+        with pytest.raises(ValueError, match=r"element indices must lie in \[0, 4\)"):
+            flip_bits(raw, np.array([4]), np.array([0]), total_bits=8)
+
+    def test_negative_element_rejected(self):
+        raw = np.zeros(4, dtype=np.int64)
+        with pytest.raises(ValueError, match="element indices"):
+            flip_bits(raw, np.array([-1]), np.array([0]), total_bits=8)
+
 
 class TestStuckAt:
     def test_set_bits(self):
@@ -67,6 +82,56 @@ class TestStuckAt:
         raw = np.zeros(1, dtype=np.int64)
         with pytest.raises(ValueError):
             apply_stuck_at(raw, np.array([0]), np.array([0]), 2, total_bits=8)
+
+    def test_set_bits_mismatched_shapes_rejected(self):
+        raw = np.zeros(2, dtype=np.int64)
+        with pytest.raises(ValueError, match="same shape"):
+            set_bits(raw, np.array([0, 1]), np.array([1]), total_bits=8)
+
+    def test_clear_bits_mismatched_shapes_rejected(self):
+        raw = np.zeros(2, dtype=np.int64)
+        with pytest.raises(ValueError, match="same shape"):
+            clear_bits(raw, np.array([0, 1]), np.array([1]), total_bits=8)
+
+    def test_set_bits_out_of_range_element_rejected(self):
+        raw = np.zeros(2, dtype=np.int64)
+        with pytest.raises(ValueError, match="element indices"):
+            set_bits(raw, np.array([7]), np.array([1]), total_bits=8)
+
+
+class TestApplyBitOps:
+    def test_fused_equals_per_kind_calls(self):
+        rng = np.random.default_rng(5)
+        raw = rng.integers(0, 256, size=20).astype(np.int64)
+        # Distinct sites per op kind (the fused-path contract).
+        elements = np.array([0, 3, 5, 7, 11, 13], dtype=np.int64)
+        bits = np.array([0, 7, 3, 1, 6, 4], dtype=np.int64)
+        ops = np.array(
+            [OP_FLIP, OP_FLIP, OP_SET, OP_SET, OP_CLEAR, OP_CLEAR], dtype=np.int64
+        )
+        fused = apply_bit_ops(raw, elements, bits, ops, total_bits=8)
+        expected = flip_bits(raw, elements[:2], bits[:2], total_bits=8)
+        expected = set_bits(expected, elements[2:4], bits[2:4], total_bits=8)
+        expected = clear_bits(expected, elements[4:], bits[4:], total_bits=8)
+        assert np.array_equal(fused, expected)
+        assert not np.shares_memory(fused, raw)
+
+    def test_empty_ops_is_identity(self):
+        raw = np.arange(4, dtype=np.int64)
+        out = apply_bit_ops(
+            raw, np.empty(0, np.int64), np.empty(0, np.int64), np.empty(0, np.int64), 8
+        )
+        assert np.array_equal(out, raw)
+
+    def test_invalid_op_code_rejected(self):
+        raw = np.zeros(2, dtype=np.int64)
+        with pytest.raises(ValueError, match="op_codes"):
+            apply_bit_ops(raw, np.array([0]), np.array([0]), np.array([9]), 8)
+
+    def test_mismatched_op_shape_rejected(self):
+        raw = np.zeros(2, dtype=np.int64)
+        with pytest.raises(ValueError, match="op_codes"):
+            apply_bit_ops(raw, np.array([0]), np.array([0]), np.array([0, 1]), 8)
 
 
 class TestRandomBitPositions:
@@ -95,6 +160,57 @@ class TestRandomBitPositions:
     def test_bit_positions_within_word(self, rng):
         _, bits = random_bit_positions(50, 12, 0.5, rng)
         assert bits.min() >= 0 and bits.max() < 12
+
+    def test_small_population_keeps_historical_choice_draw(self):
+        # Seed compatibility: below the population threshold the sampler must
+        # consume the RNG exactly like the original rng.choice formulation,
+        # so every existing figure seed reproduces its historical fault sites.
+        elements, bits = random_bit_positions(100, 8, 0.05, np.random.default_rng(77))
+        rng = np.random.default_rng(77)
+        expected = 100 * 8 * 0.05
+        n = int(np.floor(expected))
+        if rng.random() < expected - n:
+            n += 1
+        flat = rng.choice(800, size=n, replace=False)
+        assert np.array_equal(elements, flat // 8)
+        assert np.array_equal(bits, flat % 8)
+
+    def test_large_population_pinned_golden_draw(self):
+        # The >2**20-bit rejection-sampling path is a *different* draw from
+        # rng.choice for the same seed; pin it so it can never drift silently.
+        elements, bits = random_bit_positions(
+            200_000, 16, 1e-5, np.random.default_rng(1234), max_faults=8
+        )
+        assert elements.tolist() == [
+            197588, 76039, 34271, 184649, 20978, 52338, 27756, 63819
+        ]
+        assert bits.tolist() == [1, 2, 15, 3, 8, 7, 1, 6]
+
+    def test_large_population_sites_unique_bounded_deterministic(self):
+        population_elements = (_CHOICE_POPULATION_LIMIT // 16) * 4
+        draws = []
+        for _ in range(2):
+            elements, bits = random_bit_positions(
+                population_elements, 16, 1e-6, np.random.default_rng(9)
+            )
+            assert elements.size > 0
+            assert elements.min() >= 0 and elements.max() < population_elements
+            assert bits.min() >= 0 and bits.max() < 16
+            flat = elements * 16 + bits
+            assert np.unique(flat).size == flat.size
+            draws.append(flat)
+        assert np.array_equal(draws[0], draws[1])
+
+    def test_dense_draw_uses_choice_even_when_population_large(self):
+        # n_faults near the population would make rejection sampling slow;
+        # the dense regime stays on the exact permutation path.
+        population_elements = _CHOICE_POPULATION_LIMIT // 16 + 1024
+        elements, bits = random_bit_positions(
+            population_elements, 16, 1.0, np.random.default_rng(3)
+        )
+        flat = elements * 16 + bits
+        assert flat.size == population_elements * 16
+        assert np.unique(flat).size == flat.size
 
 
 @settings(max_examples=40, deadline=None)

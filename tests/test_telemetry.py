@@ -102,7 +102,7 @@ class TestEvents:
 
     def test_registry_covers_every_family(self):
         families = {kind.split(".")[0] for kind in EVENT_KINDS}
-        assert families == {"campaign", "trial", "sweep", "store", "lease"}
+        assert families == {"campaign", "trial", "sweep", "store", "lease", "kernel"}
 
 
 # --------------------------------------------------------------------------- #
